@@ -1,0 +1,138 @@
+// google-benchmark microbenchmarks for the library's hot components:
+// boosted-tree training and inference, the propensity-score model, the
+// detectors the online loop refits at every checkpoint, and a full NURD
+// checkpoint step. These quantify the per-checkpoint cost a deployment
+// would pay (the paper's online setting refits models as tasks finish).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/nurd.h"
+#include "eval/harness.h"
+#include "ml/gbt.h"
+#include "ml/logistic.h"
+#include "outlier/iforest.h"
+#include "outlier/knn_detectors.h"
+#include "trace/generator.h"
+
+namespace {
+
+using namespace nurd;
+
+// Synthetic regression problem of a given size.
+struct Problem {
+  Matrix x;
+  std::vector<double> y;
+};
+
+Problem make_problem(std::size_t n, std::size_t d, std::uint64_t seed) {
+  Rng rng(seed);
+  Problem p;
+  p.x = Matrix(n, d);
+  p.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double target = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      p.x(i, j) = rng.normal();
+      target += (j % 2 == 0 ? 1.0 : -0.5) * p.x(i, j);
+    }
+    p.y[i] = target + rng.normal(0.0, 0.1);
+  }
+  return p;
+}
+
+void BM_GbtFit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto p = make_problem(n, 15, 1);
+  for (auto _ : state) {
+    auto model = ml::GradientBoosting::regressor();
+    model.fit(p.x, p.y);
+    benchmark::DoNotOptimize(model);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_GbtFit)->Arg(100)->Arg(400)->Arg(1000);
+
+void BM_GbtPredict(benchmark::State& state) {
+  const auto p = make_problem(1000, 15, 2);
+  auto model = ml::GradientBoosting::regressor();
+  model.fit(p.x, p.y);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict(p.x.row(i % p.x.rows())));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GbtPredict);
+
+void BM_LogisticFit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto p = make_problem(n, 15, 3);
+  std::vector<double> labels(n);
+  for (std::size_t i = 0; i < n; ++i) labels[i] = p.y[i] > 0 ? 1.0 : 0.0;
+  for (auto _ : state) {
+    ml::LogisticRegression lr;
+    lr.fit(p.x, labels);
+    benchmark::DoNotOptimize(lr);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_LogisticFit)->Arg(100)->Arg(400)->Arg(1000);
+
+void BM_IForestFit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto p = make_problem(n, 15, 4);
+  for (auto _ : state) {
+    outlier::IForestDetector det;
+    det.fit(p.x);
+    benchmark::DoNotOptimize(det.scores());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_IForestFit)->Arg(100)->Arg(400);
+
+void BM_LofFit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto p = make_problem(n, 15, 5);
+  for (auto _ : state) {
+    outlier::LofDetector det;
+    det.fit(p.x);
+    benchmark::DoNotOptimize(det.scores());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_LofFit)->Arg(100)->Arg(400);
+
+void BM_NurdCheckpoint(benchmark::State& state) {
+  auto config = trace::GoogleLikeGenerator::google_defaults();
+  config.min_tasks = static_cast<std::size_t>(state.range(0));
+  config.max_tasks = config.min_tasks;
+  trace::GoogleLikeGenerator gen(config);
+  const auto job = gen.generate_job(0, true);
+  const double tau = job.straggler_threshold();
+  for (auto _ : state) {
+    core::NurdPredictor nurd;
+    nurd.initialize(job, tau);
+    benchmark::DoNotOptimize(
+        nurd.predict_stragglers(job, 2, job.checkpoints[2].running));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NurdCheckpoint)->Arg(100)->Arg(400);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  auto config = trace::GoogleLikeGenerator::google_defaults();
+  config.min_tasks = static_cast<std::size_t>(state.range(0));
+  config.max_tasks = config.min_tasks;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    trace::GoogleLikeGenerator gen(config);
+    benchmark::DoNotOptimize(gen.generate_job(i++, true));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TraceGeneration)->Arg(100)->Arg(400);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,174 @@
+#include "censored/coxph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/linalg.h"
+
+namespace nurd::censored {
+
+CoxPh::CoxPh(CoxParams params) : params_(params) {
+  NURD_CHECK(params_.max_iterations > 0, "max_iterations must be positive");
+}
+
+void CoxPh::fit(const Matrix& x, std::span<const SurvivalObservation> obs) {
+  NURD_CHECK(x.rows() == obs.size(), "row/observation count mismatch");
+  NURD_CHECK(x.rows() > 0, "cannot fit on empty data");
+
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  const Matrix xs = scaler_.fit_transform(x);
+
+  // Sort sample indices by time ascending; the risk set at an event time is
+  // the suffix of this ordering.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return obs[a].time < obs[b].time;
+                   });
+
+  beta_.assign(d, 0.0);
+  std::vector<double> eta(n, 0.0), w(n, 1.0);
+
+  for (int it = 0; it < params_.max_iterations; ++it) {
+    for (std::size_t i = 0; i < n; ++i) {
+      eta[i] = 0.0;
+      auto row = xs.row(i);
+      for (std::size_t j = 0; j < d; ++j) eta[i] += beta_[j] * row[j];
+      w[i] = std::exp(std::clamp(eta[i], -30.0, 30.0));
+    }
+
+    // Sweep times descending, maintaining suffix sums over the risk set:
+    //   S0 = Σ w_j,  S1 = Σ w_j x_j,  S2 = Σ w_j x_j x_jᵀ.
+    std::vector<double> grad(d, 0.0);
+    Matrix hess(d, d, 0.0);
+    double s0 = 0.0;
+    std::vector<double> s1(d, 0.0);
+    Matrix s2(d, d, 0.0);
+
+    std::size_t pos = n;  // walk from latest time to earliest
+    while (pos > 0) {
+      // Pull in every sample tied at this time before processing events.
+      const double t = obs[order[pos - 1]].time;
+      std::size_t first = pos;
+      while (first > 0 && obs[order[first - 1]].time == t) --first;
+      for (std::size_t q = first; q < pos; ++q) {
+        const std::size_t i = order[q];
+        auto row = xs.row(i);
+        s0 += w[i];
+        for (std::size_t a = 0; a < d; ++a) {
+          s1[a] += w[i] * row[a];
+          for (std::size_t b = a; b < d; ++b) {
+            s2(a, b) += w[i] * row[a] * row[b];
+          }
+        }
+      }
+      // Breslow: each event at this time contributes against the same
+      // risk-set aggregates.
+      for (std::size_t q = first; q < pos; ++q) {
+        const std::size_t i = order[q];
+        if (!obs[i].event) continue;
+        auto row = xs.row(i);
+        for (std::size_t a = 0; a < d; ++a) {
+          const double mean_a = s1[a] / s0;
+          grad[a] += row[a] - mean_a;
+          for (std::size_t b = a; b < d; ++b) {
+            hess(a, b) -= s2(a, b) / s0 - mean_a * (s1[b] / s0);
+          }
+        }
+      }
+      pos = first;
+    }
+
+    // Newton step on the penalized partial log-likelihood (maximize):
+    // solve (−H + l2·I) step = grad.
+    Matrix neg_h(d, d, 0.0);
+    for (std::size_t a = 0; a < d; ++a) {
+      for (std::size_t b = a; b < d; ++b) {
+        neg_h(a, b) = -hess(a, b);
+        neg_h(b, a) = neg_h(a, b);
+      }
+      neg_h(a, a) += params_.l2 + 1e-8;
+      grad[a] -= params_.l2 * beta_[a];
+    }
+    auto l = cholesky(neg_h);
+    if (!l) break;
+    const auto step = cholesky_solve(*l, grad);
+    double max_step = 0.0;
+    for (std::size_t a = 0; a < d; ++a) {
+      beta_[a] += step[a];
+      max_step = std::max(max_step, std::abs(step[a]));
+    }
+    if (max_step < params_.tolerance) break;
+  }
+
+  // Breslow baseline cumulative hazard on the event-time grid.
+  for (std::size_t i = 0; i < n; ++i) {
+    eta[i] = 0.0;
+    auto row = xs.row(i);
+    for (std::size_t j = 0; j < d; ++j) eta[i] += beta_[j] * row[j];
+    w[i] = std::exp(std::clamp(eta[i], -30.0, 30.0));
+  }
+  h0_times_.clear();
+  h0_values_.clear();
+  double cum = 0.0;
+  double s0 = 0.0;
+  std::size_t pos = n;
+  std::vector<std::pair<double, double>> increments;  // (time, d_k / s0)
+  while (pos > 0) {
+    const double t = obs[order[pos - 1]].time;
+    std::size_t first = pos;
+    while (first > 0 && obs[order[first - 1]].time == t) --first;
+    int events = 0;
+    for (std::size_t q = first; q < pos; ++q) {
+      s0 += w[order[q]];
+      if (obs[order[q]].event) ++events;
+    }
+    if (events > 0 && s0 > 0.0) {
+      increments.emplace_back(t, static_cast<double>(events) / s0);
+    }
+    pos = first;
+  }
+  std::sort(increments.begin(), increments.end());
+  for (const auto& [t, inc] : increments) {
+    cum += inc;
+    h0_times_.push_back(t);
+    h0_values_.push_back(cum);
+  }
+  fitted_ = true;
+}
+
+double CoxPh::risk_score(std::span<const double> row) const {
+  NURD_CHECK(fitted_, "model not fitted");
+  std::vector<double> r(row.begin(), row.end());
+  scaler_.transform_row(r);
+  double s = 0.0;
+  for (std::size_t j = 0; j < beta_.size(); ++j) s += beta_[j] * r[j];
+  return s;
+}
+
+double CoxPh::baseline_cumulative_hazard(double t) const {
+  NURD_CHECK(fitted_, "model not fitted");
+  if (h0_times_.empty()) return 0.0;
+  if (t >= h0_times_.back()) {
+    // Average-rate extrapolation beyond the observed horizon.
+    return h0_values_.back() * t / h0_times_.back();
+  }
+  // Step function: the largest grid value with time ≤ t.
+  auto it = std::upper_bound(h0_times_.begin(), h0_times_.end(), t);
+  if (it == h0_times_.begin()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      std::distance(h0_times_.begin(), it) - 1);
+  return h0_values_[idx];
+}
+
+double CoxPh::survival(double t, std::span<const double> row) const {
+  const double h = baseline_cumulative_hazard(t) *
+                   std::exp(std::clamp(risk_score(row), -30.0, 30.0));
+  return std::exp(-h);
+}
+
+}  // namespace nurd::censored

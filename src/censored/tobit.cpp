@@ -1,0 +1,107 @@
+#include "censored/tobit.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace nurd::censored {
+
+TobitRegression::TobitRegression(TobitParams params) : params_(params) {
+  NURD_CHECK(params_.max_iterations > 0, "max_iterations must be positive");
+  NURD_CHECK(params_.learning_rate > 0.0, "learning_rate must be positive");
+}
+
+void TobitRegression::fit(const Matrix& x,
+                          std::span<const ml::Target> targets) {
+  NURD_CHECK(x.rows() == targets.size(), "row/target count mismatch");
+  NURD_CHECK(x.rows() > 0, "cannot fit on empty data");
+
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  const Matrix xs = scaler_.fit_transform(x);
+
+  // Standardize the target as well: Adam's steps are scale-free, so fitting
+  // in raw latency units (hundreds to thousands of seconds) would never move
+  // the parameters far enough. Targets are mapped to (y − m)/s using the
+  // uncensored mean/stddev; predictions are mapped back.
+  std::vector<double> unc;
+  for (const auto& t : targets) {
+    if (!t.censored) unc.push_back(t.value);
+  }
+  y_shift_ = unc.empty() ? 0.0 : mean(unc);
+  y_scale_ = std::max(unc.empty() ? 1.0 : stddev(unc), 1e-6);
+  std::vector<ml::Target> ts(targets.begin(), targets.end());
+  for (auto& t : ts) t.value = (t.value - y_shift_) / y_scale_;
+
+  const std::size_t p = d + 2;  // β (d), intercept, log σ
+  std::vector<double> theta(p, 0.0);
+  theta[d + 1] = 0.0;  // σ starts at 1 in standardized units
+
+  // Adam state.
+  std::vector<double> m(p, 0.0), v(p, 0.0);
+  const double b1 = 0.9, b2 = 0.999, eps = 1e-8;
+
+  std::vector<double> grad(p);
+  for (int it = 1; it <= params_.max_iterations; ++it) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    const double sigma = std::exp(theta[d + 1]);
+    const double inv_s = 1.0 / sigma;
+    double nll = 0.0;
+
+    for (std::size_t i = 0; i < n; ++i) {
+      auto row = xs.row(i);
+      double mu = theta[d];
+      for (std::size_t j = 0; j < d; ++j) mu += theta[j] * row[j];
+
+      if (!ts[i].censored) {
+        const double r = (mu - ts[i].value) * inv_s;
+        nll += theta[d + 1] + 0.5 * r * r;
+        const double gmu = r * inv_s;
+        for (std::size_t j = 0; j < d; ++j) grad[j] += gmu * row[j];
+        grad[d] += gmu;
+        grad[d + 1] += 1.0 - r * r;
+      } else {
+        // Right-censored at c: contribution −log Φ((μ − c)/σ).
+        const double u = (mu - ts[i].value) * inv_s;
+        const double mills = ml::TobitLoss::inverse_mills(u);
+        nll += -std::log(std::max(normal_cdf(u), 1e-300));
+        const double gmu = -mills * inv_s;
+        for (std::size_t j = 0; j < d; ++j) grad[j] += gmu * row[j];
+        grad[d] += gmu;
+        grad[d + 1] += u * mills;
+      }
+    }
+
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& g : grad) g *= inv_n;
+    for (std::size_t j = 0; j < d; ++j) grad[j] += params_.l2 * theta[j];
+    final_nll_ = nll * inv_n;
+
+    for (std::size_t j = 0; j < p; ++j) {
+      m[j] = b1 * m[j] + (1.0 - b1) * grad[j];
+      v[j] = b2 * v[j] + (1.0 - b2) * grad[j] * grad[j];
+      const double mh = m[j] / (1.0 - std::pow(b1, it));
+      const double vh = v[j] / (1.0 - std::pow(b2, it));
+      theta[j] -= params_.learning_rate * mh / (std::sqrt(vh) + eps);
+    }
+    // Keep σ in a sane range.
+    theta[d + 1] = std::clamp(theta[d + 1], std::log(1e-4), std::log(1e6));
+  }
+
+  beta_.assign(theta.begin(), theta.begin() + static_cast<std::ptrdiff_t>(d + 1));
+  sigma_ = std::exp(theta[d + 1]) * y_scale_;
+  fitted_ = true;
+}
+
+double TobitRegression::predict(std::span<const double> row) const {
+  NURD_CHECK(fitted_, "model not fitted");
+  std::vector<double> r(row.begin(), row.end());
+  scaler_.transform_row(r);
+  double mu = beta_.back();
+  for (std::size_t j = 0; j + 1 < beta_.size(); ++j) mu += beta_[j] * r[j];
+  return y_shift_ + y_scale_ * mu;
+}
+
+}  // namespace nurd::censored

@@ -1,0 +1,57 @@
+// Linear Tobit (type-I) regression fitted by maximum likelihood (Tobin
+// 1958). Handles right-censored targets: at checkpoint t every still-running
+// task's latency is only known to exceed τrun_t. The latent latency is
+// modeled as y* = x·β + σε with Gaussian ε — the distributional assumption
+// the paper calls out as Tobit's weakness on long-tailed jobs.
+//
+// Optimized with Adam on (β, log σ); features are standardized internally.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/scaler.h"
+#include "ml/loss.h"
+
+namespace nurd::censored {
+
+/// Tobit fit hyperparameters.
+struct TobitParams {
+  int max_iterations = 400;
+  double learning_rate = 0.05;
+  double l2 = 1e-3;  ///< ridge penalty on β (not intercept or log σ)
+};
+
+/// Linear Tobit regression with right-censoring.
+class TobitRegression {
+ public:
+  explicit TobitRegression(TobitParams params = {});
+
+  /// Fits on rows of `x` with targets carrying the censoring flag
+  /// (`censored == true` means the true value is ≥ target.value).
+  void fit(const Matrix& x, std::span<const ml::Target> targets);
+
+  /// Predicted latent value x·β (the uncensored-mean prediction).
+  double predict(std::span<const double> row) const;
+
+  /// Estimated latent noise scale σ.
+  double sigma() const { return sigma_; }
+
+  /// Penalized negative log-likelihood at the fitted parameters (per sample).
+  double final_nll() const { return final_nll_; }
+
+  bool fitted() const { return fitted_; }
+
+ private:
+  TobitParams params_;
+  StandardScaler scaler_;
+  std::vector<double> beta_;  // weights, intercept last
+  double y_shift_ = 0.0;      // target standardization (uncensored mean)
+  double y_scale_ = 1.0;      // target standardization (uncensored stddev)
+  double sigma_ = 1.0;
+  double final_nll_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace nurd::censored

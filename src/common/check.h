@@ -1,0 +1,31 @@
+// Contract-checking macros used at public API boundaries.
+//
+// NURD_CHECK throws std::invalid_argument with a formatted message when the
+// condition is false. It is used to validate caller-supplied arguments; it is
+// NOT used on hot inner loops (those use plain assert in debug builds).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace nurd {
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* cond, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+}  // namespace detail
+
+}  // namespace nurd
+
+#define NURD_CHECK(cond, msg)                                        \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      ::nurd::detail::check_failed(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                \
+  } while (false)

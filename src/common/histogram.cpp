@@ -1,0 +1,57 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace nurd {
+
+Histogram::Histogram(std::span<const double> values, std::size_t bins) {
+  NURD_CHECK(!values.empty(), "histogram of empty sample");
+  NURD_CHECK(bins > 0, "histogram needs at least one bin");
+  lo_ = min_value(values);
+  hi_ = max_value(values);
+  n_ = values.size();
+  if (hi_ - lo_ <= 0.0) {
+    counts_.assign(1, n_);
+    width_ = 1.0;
+    hi_ = lo_ + 1.0;
+    return;
+  }
+  counts_.assign(bins, 0);
+  width_ = (hi_ - lo_) / static_cast<double>(bins);
+  for (double v : values) ++counts_[bin_of(v)];
+}
+
+std::size_t Histogram::bin_of(double value) const {
+  if (value <= lo_) return 0;
+  if (value >= hi_) return counts_.size() - 1;
+  const auto b = static_cast<std::size_t>((value - lo_) / width_);
+  return std::min(b, counts_.size() - 1);
+}
+
+double Histogram::density(double value, double epsilon) const {
+  const double d = static_cast<double>(counts_[bin_of(value)]) /
+                   (static_cast<double>(n_) * width_);
+  return std::max(d, epsilon);
+}
+
+std::string Histogram::ascii(std::size_t max_width) const {
+  const std::size_t peak = *std::max_element(counts_.begin(), counts_.end());
+  std::ostringstream os;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const double left = lo_ + width_ * static_cast<double>(b);
+    const std::size_t bar =
+        peak == 0 ? 0 : counts_[b] * max_width / peak;
+    os.setf(std::ios::fixed);
+    os.precision(3);
+    os << "[" << left << ", " << left + width_ << ") "
+       << std::string(bar, '#') << " " << counts_[b] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace nurd

@@ -1,0 +1,111 @@
+#include "common/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace nurd {
+
+namespace {
+
+// k-means++ seeding: first centroid uniform, subsequent centroids sampled
+// proportionally to squared distance from the nearest chosen centroid.
+Matrix seed_centroids(const Matrix& points, std::size_t k, Rng& rng) {
+  const std::size_t n = points.rows();
+  Matrix centroids(0, 0);
+  const std::size_t first =
+      static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  centroids.push_row(points.row(first));
+
+  std::vector<double> d2(n, std::numeric_limits<double>::max());
+  while (centroids.rows() < k) {
+    const auto last = centroids.row(centroids.rows() - 1);
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      d2[i] = std::min(d2[i], squared_distance(points.row(i), last));
+      total += d2[i];
+    }
+    if (total <= 0.0) break;  // fewer distinct points than k
+    double target = rng.uniform(0.0, total);
+    std::size_t chosen = n - 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      target -= d2[i];
+      if (target <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    centroids.push_row(points.row(chosen));
+  }
+  return centroids;
+}
+
+}  // namespace
+
+KMeansResult kmeans(const Matrix& points, const KMeansParams& params,
+                    Rng& rng) {
+  NURD_CHECK(points.rows() > 0, "kmeans on empty input");
+  NURD_CHECK(params.k > 0, "kmeans requires k > 0");
+  const std::size_t n = points.rows();
+  const std::size_t d = points.cols();
+  const std::size_t k = std::min(params.k, n);
+
+  Matrix centroids = seed_centroids(points, k, rng);
+  const std::size_t k_eff = centroids.rows();
+
+  KMeansResult result;
+  result.labels.assign(n, 0);
+  double prev_inertia = std::numeric_limits<double>::max();
+
+  for (int it = 0; it < params.max_iterations; ++it) {
+    // Assignment step.
+    double inertia = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::max();
+      std::size_t best_c = 0;
+      for (std::size_t c = 0; c < k_eff; ++c) {
+        const double dist = squared_distance(points.row(i), centroids.row(c));
+        if (dist < best) {
+          best = dist;
+          best_c = c;
+        }
+      }
+      result.labels[i] = best_c;
+      inertia += best;
+    }
+
+    // Update step.
+    Matrix next(k_eff, d, 0.0);
+    std::vector<std::size_t> counts(k_eff, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t c = result.labels[i];
+      auto row = points.row(i);
+      for (std::size_t j = 0; j < d; ++j) next(c, j) += row[j];
+      ++counts[c];
+    }
+    for (std::size_t c = 0; c < k_eff; ++c) {
+      if (counts[c] == 0) {
+        // Empty cluster: keep its previous centroid.
+        auto prev = centroids.row(c);
+        std::copy(prev.begin(), prev.end(), next.row(c).begin());
+        continue;
+      }
+      for (std::size_t j = 0; j < d; ++j)
+        next(c, j) /= static_cast<double>(counts[c]);
+    }
+    centroids = std::move(next);
+    result.iterations = it + 1;
+    result.inertia = inertia;
+    if (prev_inertia - inertia < params.tolerance) break;
+    prev_inertia = inertia;
+  }
+
+  result.sizes.assign(k_eff, 0);
+  for (auto l : result.labels) ++result.sizes[l];
+  result.centroids = std::move(centroids);
+  return result;
+}
+
+}  // namespace nurd

@@ -1,0 +1,33 @@
+// Lloyd's k-means with k-means++ seeding. Backs the CBLOF detector's cluster
+// structure and the LSCP local-region machinery.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+
+namespace nurd {
+
+/// Result of a k-means clustering run.
+struct KMeansResult {
+  Matrix centroids;                    ///< k × d centroid matrix
+  std::vector<std::size_t> labels;     ///< cluster id per input row
+  std::vector<std::size_t> sizes;      ///< #points per cluster
+  double inertia = 0.0;                ///< sum of squared distances to centroid
+  int iterations = 0;                  ///< Lloyd iterations executed
+};
+
+/// Parameters for k-means.
+struct KMeansParams {
+  std::size_t k = 8;
+  int max_iterations = 100;
+  double tolerance = 1e-6;  ///< stop when inertia improvement falls below this
+};
+
+/// Runs k-means++-seeded Lloyd iterations on the rows of `points`.
+/// k is clamped to the number of distinct input rows available.
+KMeansResult kmeans(const Matrix& points, const KMeansParams& params, Rng& rng);
+
+}  // namespace nurd

@@ -1,0 +1,53 @@
+#include "common/knn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace nurd {
+
+KnnIndex::KnnIndex(Matrix points) : points_(std::move(points)) {}
+
+std::vector<Neighbor> KnnIndex::query(std::span<const double> query,
+                                      std::size_t k,
+                                      std::size_t exclude_self) const {
+  NURD_CHECK(query.size() == points_.cols(), "query dimension mismatch");
+  const std::size_t n = points_.rows();
+  std::vector<Neighbor> all;
+  all.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == exclude_self) continue;
+    all.push_back({i, squared_distance(query, points_.row(i))});
+  }
+  k = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(k),
+                    all.end(), [](const Neighbor& a, const Neighbor& b) {
+                      return a.distance < b.distance ||
+                             (a.distance == b.distance && a.index < b.index);
+                    });
+  all.resize(k);
+  for (auto& nb : all) nb.distance = std::sqrt(nb.distance);
+  return all;
+}
+
+std::vector<Neighbor> KnnIndex::neighbors_of(std::size_t i,
+                                             std::size_t k) const {
+  NURD_CHECK(i < points_.rows(), "row index out of range");
+  return query(points_.row(i), k, i);
+}
+
+Matrix pairwise_distances(const Matrix& points) {
+  const std::size_t n = points.rows();
+  Matrix d(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dist = euclidean_distance(points.row(i), points.row(j));
+      d(i, j) = dist;
+      d(j, i) = dist;
+    }
+  }
+  return d;
+}
+
+}  // namespace nurd

@@ -1,0 +1,99 @@
+#include "common/matrix.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace nurd {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  for (const auto& r : rows) {
+    std::vector<double> v(r);
+    push_row(v);
+  }
+}
+
+Matrix Matrix::from_flat(std::size_t rows, std::size_t cols,
+                         std::vector<double> flat) {
+  NURD_CHECK(flat.size() == rows * cols, "flat buffer size mismatch");
+  Matrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.data_ = std::move(flat);
+  return m;
+}
+
+std::vector<double> Matrix::col(std::size_t c) const {
+  NURD_CHECK(c < cols_, "column index out of range");
+  std::vector<double> out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+void Matrix::push_row(std::span<const double> values) {
+  if (rows_ == 0 && cols_ == 0) cols_ = values.size();
+  NURD_CHECK(values.size() == cols_, "row length mismatch");
+  data_.insert(data_.end(), values.begin(), values.end());
+  ++rows_;
+}
+
+Matrix Matrix::select_rows(std::span<const std::size_t> indices) const {
+  Matrix out(indices.size(), cols_);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    NURD_CHECK(indices[i] < rows_, "row index out of range");
+    auto src = row(indices[i]);
+    auto dst = out.row(i);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  return out;
+}
+
+std::vector<double> Matrix::col_means() const {
+  std::vector<double> mean(cols_, 0.0);
+  if (rows_ == 0) return mean;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    auto v = row(r);
+    for (std::size_t c = 0; c < cols_; ++c) mean[c] += v[c];
+  }
+  for (auto& m : mean) m /= static_cast<double>(rows_);
+  return mean;
+}
+
+std::vector<double> Matrix::col_stddevs() const {
+  std::vector<double> sd(cols_, 0.0);
+  if (rows_ == 0) return sd;
+  const auto mean = col_means();
+  for (std::size_t r = 0; r < rows_; ++r) {
+    auto v = row(r);
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const double d = v[c] - mean[c];
+      sd[c] += d * d;
+    }
+  }
+  for (auto& s : sd) s = std::sqrt(s / static_cast<double>(rows_));
+  return sd;
+}
+
+double squared_distance(std::span<const double> a, std::span<const double> b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+double euclidean_distance(std::span<const double> a,
+                          std::span<const double> b) {
+  return std::sqrt(squared_distance(a, b));
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm2(std::span<const double> a) { return std::sqrt(dot(a, a)); }
+
+}  // namespace nurd

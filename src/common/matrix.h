@@ -1,0 +1,89 @@
+// Dense row-major matrix of doubles — the feature-matrix currency of the
+// whole library. Deliberately minimal: the library's algorithms only need
+// row access, column access, and a handful of reductions.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace nurd {
+
+/// Dense row-major matrix of doubles. Rows are samples, columns features.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Creates a rows×cols matrix initialized to `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Creates a matrix from nested initializer lists (row-major).
+  /// All rows must have the same length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// Builds a matrix from a flat row-major buffer. `flat.size()` must equal
+  /// rows*cols.
+  static Matrix from_flat(std::size_t rows, std::size_t cols,
+                          std::vector<double> flat);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Mutable view of row `r` (length cols()).
+  std::span<double> row(std::size_t r) {
+    return {data_.data() + r * cols_, cols_};
+  }
+  /// Read-only view of row `r` (length cols()).
+  std::span<const double> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// Copies column `c` into a new vector (length rows()).
+  std::vector<double> col(std::size_t c) const;
+
+  /// Appends a row. `values.size()` must equal cols() (or the matrix must be
+  /// empty, in which case cols() is set from the first row).
+  void push_row(std::span<const double> values);
+
+  /// Returns a new matrix containing the rows listed in `indices`, in order.
+  Matrix select_rows(std::span<const std::size_t> indices) const;
+
+  /// Column means; empty matrix yields an all-zero vector of length cols().
+  std::vector<double> col_means() const;
+
+  /// Column standard deviations (population, i.e. divide by n); zero-variance
+  /// columns yield 0.
+  std::vector<double> col_stddevs() const;
+
+  /// Flat row-major storage (read-only).
+  std::span<const double> flat() const { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Squared Euclidean distance between two equal-length vectors.
+double squared_distance(std::span<const double> a, std::span<const double> b);
+
+/// Euclidean distance between two equal-length vectors.
+double euclidean_distance(std::span<const double> a, std::span<const double> b);
+
+/// Dot product of two equal-length vectors.
+double dot(std::span<const double> a, std::span<const double> b);
+
+/// Euclidean norm of a vector.
+double norm2(std::span<const double> a);
+
+}  // namespace nurd

@@ -1,0 +1,76 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace nurd {
+
+double Rng::uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> d(lo, hi);
+  return d(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  std::normal_distribution<double> d(mean, stddev);
+  return d(engine_);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  std::lognormal_distribution<double> d(mu, sigma);
+  return d(engine_);
+}
+
+double Rng::exponential(double lambda) {
+  std::exponential_distribution<double> d(lambda);
+  return d(engine_);
+}
+
+double Rng::pareto(double xm, double alpha) {
+  NURD_CHECK(xm > 0 && alpha > 0, "pareto parameters must be positive");
+  const double u = uniform(0.0, 1.0);
+  // Inverse-CDF sampling; clamp u away from 1 to avoid division by zero.
+  return xm / std::pow(1.0 - std::min(u, 1.0 - 1e-12), 1.0 / alpha);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  std::uniform_int_distribution<std::int64_t> d(lo, hi);
+  return d(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  std::bernoulli_distribution d(std::clamp(p, 0.0, 1.0));
+  return d(engine_);
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::shuffle(idx.begin(), idx.end(), engine_);
+  return idx;
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  NURD_CHECK(k <= n, "cannot sample more than n without replacement");
+  auto idx = permutation(n);
+  idx.resize(k);
+  return idx;
+}
+
+std::vector<std::size_t> Rng::sample_with_replacement(std::size_t n,
+                                                      std::size_t k) {
+  NURD_CHECK(n > 0, "cannot sample from empty range");
+  std::vector<std::size_t> idx(k);
+  std::uniform_int_distribution<std::size_t> d(0, n - 1);
+  for (auto& i : idx) i = d(engine_);
+  return idx;
+}
+
+Rng Rng::fork() {
+  return Rng(engine_());
+}
+
+}  // namespace nurd

@@ -1,0 +1,37 @@
+#include "common/scaler.h"
+
+#include "common/check.h"
+
+namespace nurd {
+
+void StandardScaler::fit(const Matrix& x) {
+  NURD_CHECK(x.rows() > 0, "cannot fit scaler on empty matrix");
+  mean_ = x.col_means();
+  scale_ = x.col_stddevs();
+  for (auto& s : scale_) {
+    if (s <= 0.0) s = 1.0;
+  }
+}
+
+Matrix StandardScaler::transform(const Matrix& x) const {
+  NURD_CHECK(fitted(), "scaler not fitted");
+  NURD_CHECK(x.cols() == mean_.size(), "column count mismatch");
+  Matrix out = x;
+  for (std::size_t r = 0; r < out.rows(); ++r) transform_row(out.row(r));
+  return out;
+}
+
+void StandardScaler::transform_row(std::span<double> row) const {
+  NURD_CHECK(fitted(), "scaler not fitted");
+  NURD_CHECK(row.size() == mean_.size(), "row length mismatch");
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    row[c] = (row[c] - mean_[c]) / scale_[c];
+  }
+}
+
+Matrix StandardScaler::fit_transform(const Matrix& x) {
+  fit(x);
+  return transform(x);
+}
+
+}  // namespace nurd

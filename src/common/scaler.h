@@ -1,0 +1,37 @@
+// Feature standardization. Fitted on training rows, applied to both training
+// and inference rows; distance-based detectors and linear models are scale
+// sensitive, so every model in this library standardizes through this class.
+#pragma once
+
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace nurd {
+
+/// Z-score scaler: x' = (x − μ) / σ per column, with σ = 0 columns passed
+/// through centered only (divide-by-one).
+class StandardScaler {
+ public:
+  /// Learns per-column mean and stddev from the rows of `x`.
+  void fit(const Matrix& x);
+
+  /// Applies the learned transform. Columns must match the fitted matrix.
+  Matrix transform(const Matrix& x) const;
+
+  /// Transforms a single row in place.
+  void transform_row(std::span<double> row) const;
+
+  /// fit + transform in one call.
+  Matrix fit_transform(const Matrix& x);
+
+  bool fitted() const { return !mean_.empty(); }
+  const std::vector<double>& mean() const { return mean_; }
+  const std::vector<double>& scale() const { return scale_; }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> scale_;  // stddev with zeros replaced by 1
+};
+
+}  // namespace nurd

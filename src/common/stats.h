@@ -1,0 +1,54 @@
+// Descriptive statistics used across the library: means, variances,
+// percentiles (the p90 straggler threshold), and Pearson correlation (used
+// by the LSCP ensemble detector).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace nurd {
+
+/// Arithmetic mean; 0 for an empty span.
+double mean(std::span<const double> v);
+
+/// Population variance (divide by n); 0 for spans of size < 2.
+double variance(std::span<const double> v);
+
+/// Population standard deviation.
+double stddev(std::span<const double> v);
+
+/// Linear-interpolated percentile, p in [0, 100]. Matches numpy's default
+/// ("linear") interpolation. Throws for an empty input.
+double percentile(std::span<const double> v, double p);
+
+/// Minimum; throws for empty input.
+double min_value(std::span<const double> v);
+
+/// Maximum; throws for empty input.
+double max_value(std::span<const double> v);
+
+/// Median (50th percentile).
+double median(std::span<const double> v);
+
+/// Pearson correlation coefficient; 0 if either side has zero variance.
+double pearson(std::span<const double> a, std::span<const double> b);
+
+/// Standard logistic function 1/(1+exp(-x)), numerically stable.
+double sigmoid(double x);
+
+/// Standard normal probability density function.
+double normal_pdf(double x);
+
+/// Standard normal cumulative distribution function (via std::erfc).
+double normal_cdf(double x);
+
+/// Ranks of the values (0 = smallest); ties broken by index for determinism.
+std::vector<std::size_t> argsort(std::span<const double> v);
+
+/// Min-max normalizes values into [0,1]; constant input maps to all zeros.
+std::vector<double> minmax_normalize(std::span<const double> v);
+
+/// Z-score standardizes values; zero-stddev input maps to all zeros.
+std::vector<double> zscore(std::span<const double> v);
+
+}  // namespace nurd

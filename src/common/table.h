@@ -1,0 +1,33 @@
+// Plain-text table rendering for the benchmark harness — every bench prints
+// the same rows/series the paper reports, via this formatter.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nurd {
+
+/// Column-aligned text table. Cells are strings; numeric helpers format with
+/// fixed precision. Rendered with a header rule, suitable for terminals and
+/// for diffing against EXPERIMENTS.md.
+class TextTable {
+ public:
+  /// Sets the header row (defines the column count).
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Formats a double with `precision` digits after the point.
+  static std::string num(double v, int precision = 2);
+
+  /// Renders the table with single-space-padded columns and a dashed rule
+  /// under the header.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace nurd

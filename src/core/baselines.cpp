@@ -1,0 +1,300 @@
+#include "core/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace nurd::core {
+
+namespace {
+
+// Finished-task design matrix and latency targets at a checkpoint.
+struct FinishedData {
+  Matrix x;
+  std::vector<double> y;
+};
+
+FinishedData finished_data(const trace::Job& job,
+                           const trace::Checkpoint& cp) {
+  FinishedData out;
+  out.x = cp.features.select_rows(cp.finished);
+  out.y.resize(cp.finished.size());
+  for (std::size_t i = 0; i < cp.finished.size(); ++i) {
+    out.y[i] = job.latencies[cp.finished[i]];
+  }
+  return out;
+}
+
+// Censored targets over all tasks: finished are exact, running are
+// right-censored at the checkpoint horizon.
+std::vector<ml::Target> censored_targets(const trace::Job& job,
+                                         const trace::Checkpoint& cp) {
+  std::vector<ml::Target> t(job.task_count());
+  for (auto i : cp.finished) t[i] = {job.latencies[i], false};
+  for (auto i : cp.running) t[i] = {cp.tau_run, true};
+  return t;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- GBTR ----
+
+GbtrPredictor::GbtrPredictor(ml::GbtParams params) : params_(params) {}
+
+void GbtrPredictor::initialize(const trace::Job&, double tau_stra) {
+  tau_stra_ = tau_stra;
+}
+
+std::vector<std::size_t> GbtrPredictor::predict_stragglers(
+    const trace::Job& job, std::size_t t,
+    std::span<const std::size_t> candidates) {
+  const auto& cp = job.checkpoints.at(t);
+  if (cp.finished.empty() || candidates.empty()) return {};
+  const auto data = finished_data(job, cp);
+  auto model = ml::GradientBoosting::regressor(params_);
+  model.fit(data.x, data.y);
+  std::vector<std::size_t> flagged;
+  for (auto i : candidates) {
+    if (model.predict(cp.features.row(i)) >= tau_stra_) flagged.push_back(i);
+  }
+  return flagged;
+}
+
+// ------------------------------------------------------ outlier family ----
+
+OutlierPredictor::OutlierPredictor(std::string name, DetectorFactory make,
+                                   double contamination)
+    : name_(std::move(name)),
+      make_(std::move(make)),
+      contamination_(contamination) {
+  NURD_CHECK(make_ != nullptr, "detector factory must not be null");
+}
+
+void OutlierPredictor::initialize(const trace::Job&, double) {}
+
+std::vector<std::size_t> OutlierPredictor::predict_stragglers(
+    const trace::Job& job, std::size_t t,
+    std::span<const std::size_t> candidates) {
+  const auto& cp = job.checkpoints.at(t);
+  if (candidates.empty()) return {};
+  auto detector = make_();
+  detector->fit(cp.features);
+  const auto& scores = detector->scores();
+  const double thr = outlier::contamination_threshold(scores, contamination_);
+  std::vector<std::size_t> flagged;
+  for (auto i : candidates) {
+    if (scores[i] > thr) flagged.push_back(i);
+  }
+  return flagged;
+}
+
+// --------------------------------------------------------------- XGBOD ----
+
+XgbodPredictor::XgbodPredictor(outlier::XgbodParams params,
+                               double contamination)
+    : params_(params), contamination_(contamination) {}
+
+void XgbodPredictor::initialize(const trace::Job&, double) {}
+
+std::vector<std::size_t> XgbodPredictor::predict_stragglers(
+    const trace::Job& job, std::size_t t,
+    std::span<const std::size_t> candidates) {
+  const auto& cp = job.checkpoints.at(t);
+  if (candidates.empty() || cp.finished.empty() || cp.running.empty()) {
+    return {};
+  }
+  std::vector<double> pseudo(job.task_count(), 0.0);
+  for (auto i : cp.running) pseudo[i] = 1.0;
+  outlier::XgbodDetector det(params_);
+  det.fit(cp.features, pseudo);
+  const auto& scores = det.scores();
+  const double thr = outlier::contamination_threshold(scores, contamination_);
+  std::vector<std::size_t> flagged;
+  for (auto i : candidates) {
+    if (scores[i] > thr) flagged.push_back(i);
+  }
+  return flagged;
+}
+
+// --------------------------------------------------------------- PU-EN ----
+
+PuEnPredictor::PuEnPredictor(pu::PuEnParams params) : params_(params) {}
+
+void PuEnPredictor::initialize(const trace::Job&, double) {}
+
+std::vector<std::size_t> PuEnPredictor::predict_stragglers(
+    const trace::Job& job, std::size_t t,
+    std::span<const std::size_t> candidates) {
+  const auto& cp = job.checkpoints.at(t);
+  if (cp.finished.empty() || cp.running.empty() || candidates.empty()) {
+    return {};
+  }
+  const Matrix labeled = cp.features.select_rows(cp.finished);
+  const Matrix unlabeled = cp.features.select_rows(cp.running);
+  pu::PuElkanNoto model(params_);
+  model.fit(labeled, unlabeled);
+  std::vector<std::size_t> flagged;
+  for (auto i : candidates) {
+    if (model.prob_labeled_class(cp.features.row(i)) < 0.5) {
+      flagged.push_back(i);
+    }
+  }
+  return flagged;
+}
+
+// --------------------------------------------------------------- PU-BG ----
+
+PuBgPredictor::PuBgPredictor(pu::PuBgParams params) : params_(params) {}
+
+void PuBgPredictor::initialize(const trace::Job&, double) {}
+
+std::vector<std::size_t> PuBgPredictor::predict_stragglers(
+    const trace::Job& job, std::size_t t,
+    std::span<const std::size_t> candidates) {
+  const auto& cp = job.checkpoints.at(t);
+  if (cp.finished.empty() || candidates.empty()) return {};
+  const Matrix labeled = cp.features.select_rows(cp.finished);
+  const Matrix unlabeled = cp.features.select_rows(candidates);
+  pu::PuBaggingSvm model(params_);
+  model.fit(labeled, unlabeled);
+  const auto& scores = model.unlabeled_scores();
+  std::vector<std::size_t> flagged;
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    if (scores[c] > 0.0) flagged.push_back(candidates[c]);
+  }
+  return flagged;
+}
+
+// --------------------------------------------------------------- Tobit ----
+
+TobitPredictor::TobitPredictor(censored::TobitParams params)
+    : params_(params) {}
+
+void TobitPredictor::initialize(const trace::Job&, double tau_stra) {
+  tau_stra_ = tau_stra;
+}
+
+std::vector<std::size_t> TobitPredictor::predict_stragglers(
+    const trace::Job& job, std::size_t t,
+    std::span<const std::size_t> candidates) {
+  const auto& cp = job.checkpoints.at(t);
+  if (cp.finished.empty() || candidates.empty()) return {};
+  const auto targets = censored_targets(job, cp);
+  censored::TobitRegression model(params_);
+  model.fit(cp.features, targets);
+  std::vector<std::size_t> flagged;
+  for (auto i : candidates) {
+    if (model.predict(cp.features.row(i)) >= tau_stra_) flagged.push_back(i);
+  }
+  return flagged;
+}
+
+// -------------------------------------------------------------- Grabit ----
+
+GrabitPredictor::GrabitPredictor(ml::GbtParams params) : params_(params) {}
+
+void GrabitPredictor::initialize(const trace::Job&, double tau_stra) {
+  tau_stra_ = tau_stra;
+}
+
+std::vector<std::size_t> GrabitPredictor::predict_stragglers(
+    const trace::Job& job, std::size_t t,
+    std::span<const std::size_t> candidates) {
+  const auto& cp = job.checkpoints.at(t);
+  if (cp.finished.empty() || candidates.empty()) return {};
+  const auto targets = censored_targets(job, cp);
+  std::vector<double> fin_lat;
+  fin_lat.reserve(cp.finished.size());
+  for (auto i : cp.finished) fin_lat.push_back(job.latencies[i]);
+  const double sigma = std::max(stddev(fin_lat), 1e-3);
+  auto model = ml::GradientBoosting::grabit(sigma, params_);
+  model.fit(cp.features, targets);
+  std::vector<std::size_t> flagged;
+  for (auto i : candidates) {
+    if (model.predict(cp.features.row(i)) >= tau_stra_) flagged.push_back(i);
+  }
+  return flagged;
+}
+
+// --------------------------------------------------------------- CoxPH ----
+
+CoxPredictor::CoxPredictor(censored::CoxParams params) : params_(params) {}
+
+void CoxPredictor::initialize(const trace::Job&, double tau_stra) {
+  tau_stra_ = tau_stra;
+}
+
+std::vector<std::size_t> CoxPredictor::predict_stragglers(
+    const trace::Job& job, std::size_t t,
+    std::span<const std::size_t> candidates) {
+  const auto& cp = job.checkpoints.at(t);
+  if (cp.finished.empty() || candidates.empty()) return {};
+  std::vector<censored::SurvivalObservation> obs(job.task_count());
+  for (auto i : cp.finished) obs[i] = {job.latencies[i], true};
+  for (auto i : cp.running) obs[i] = {cp.tau_run, false};
+  censored::CoxPh model(params_);
+  model.fit(cp.features, obs);
+  std::vector<std::size_t> flagged;
+  for (auto i : candidates) {
+    if (model.survival(tau_stra_, cp.features.row(i)) >= 0.5) {
+      flagged.push_back(i);
+    }
+  }
+  return flagged;
+}
+
+// ------------------------------------------------------------ Wrangler ----
+
+WranglerPredictor::WranglerPredictor(ml::SvmParams params,
+                                     double train_fraction,
+                                     std::uint64_t seed)
+    : params_(params), train_fraction_(train_fraction), seed_(seed) {
+  NURD_CHECK(train_fraction > 0.0 && train_fraction < 1.0,
+             "train_fraction must be in (0,1)");
+}
+
+void WranglerPredictor::initialize(const trace::Job& job, double) {
+  // Privileged offline sample: 2/3 of tasks with true labels (§6).
+  Rng rng(seed_);
+  const std::size_t n = job.task_count();
+  const auto k = std::max<std::size_t>(
+      2, static_cast<std::size_t>(train_fraction_ * static_cast<double>(n)));
+  train_ids_ = rng.sample_without_replacement(n, std::min(k, n));
+  labels_ = job.straggler_labels();
+}
+
+std::vector<std::size_t> WranglerPredictor::predict_stragglers(
+    const trace::Job& job, std::size_t t,
+    std::span<const std::size_t> candidates) {
+  const auto& cp = job.checkpoints.at(t);
+  if (candidates.empty()) return {};
+
+  // Oversample stragglers by weighting them to parity with non-stragglers.
+  std::size_t pos = 0;
+  for (auto i : train_ids_) pos += static_cast<std::size_t>(labels_[i]);
+  const std::size_t neg = train_ids_.size() - pos;
+  if (pos == 0 || neg == 0) return {};  // degenerate sample: abstain
+  const double pos_weight =
+      static_cast<double>(neg) / static_cast<double>(pos);
+
+  Matrix x(0, 0);
+  std::vector<double> y, w;
+  for (auto i : train_ids_) {
+    x.push_row(cp.features.row(i));
+    y.push_back(labels_[i]);
+    w.push_back(labels_[i] == 1 ? pos_weight : 1.0);
+  }
+  ml::LinearSVM svm(params_);
+  svm.fit(x, y, w);
+
+  std::vector<std::size_t> flagged;
+  for (auto i : candidates) {
+    if (svm.decision(cp.features.row(i)) > 0.0) flagged.push_back(i);
+  }
+  return flagged;
+}
+
+}  // namespace nurd::core

@@ -1,0 +1,184 @@
+// Adapters exposing every baseline from the paper's §6 "Comparisons" through
+// the online StragglerPredictor interface. Each adapter documents how the
+// underlying (usually offline) method is driven by streaming checkpoint
+// data; the adaptations follow the paper and DESIGN.md §3.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "censored/coxph.h"
+#include "censored/tobit.h"
+#include "core/predictor.h"
+#include "ml/gbt.h"
+#include "ml/linear_svm.h"
+#include "outlier/detector.h"
+#include "outlier/ensemble_detectors.h"
+#include "pu/pu_bg.h"
+#include "pu/pu_en.h"
+
+namespace nurd::core {
+
+/// Supervised baseline: gradient-boosted regression on finished tasks only;
+/// flags a task when the (unweighted) latency prediction reaches τstra.
+/// Exactly NURD's ht without the reweighting stage — the paper's
+/// demonstration of negative-only training bias.
+class GbtrPredictor final : public StragglerPredictor {
+ public:
+  explicit GbtrPredictor(ml::GbtParams params = {});
+  std::string name() const override { return "GBTR"; }
+  void initialize(const trace::Job& job, double tau_stra) override;
+  std::vector<std::size_t> predict_stragglers(
+      const trace::Job& job, std::size_t t,
+      std::span<const std::size_t> candidates) override;
+
+ private:
+  ml::GbtParams params_;
+  double tau_stra_ = 0.0;
+};
+
+/// Generic adapter for the 13 unsupervised detectors: at each checkpoint the
+/// detector is fitted on the full feature snapshot and candidates whose
+/// scores exceed the contamination threshold (default 0.1, matching the p90
+/// straggler definition) are flagged.
+class OutlierPredictor final : public StragglerPredictor {
+ public:
+  using DetectorFactory =
+      std::function<std::unique_ptr<outlier::Detector>()>;
+
+  OutlierPredictor(std::string name, DetectorFactory make,
+                   double contamination = 0.1);
+  std::string name() const override { return name_; }
+  void initialize(const trace::Job& job, double tau_stra) override;
+  std::vector<std::size_t> predict_stragglers(
+      const trace::Job& job, std::size_t t,
+      std::span<const std::size_t> candidates) override;
+
+ private:
+  std::string name_;
+  DetectorFactory make_;
+  double contamination_;
+};
+
+/// XGBOD adapter: TOS-augmented boosted classifier trained on the
+/// finished(0)/running(1) pseudo-labels available online (DESIGN.md §1).
+class XgbodPredictor final : public StragglerPredictor {
+ public:
+  explicit XgbodPredictor(outlier::XgbodParams params = {},
+                          double contamination = 0.1);
+  std::string name() const override { return "XGBOD"; }
+  void initialize(const trace::Job& job, double tau_stra) override;
+  std::vector<std::size_t> predict_stragglers(
+      const trace::Job& job, std::size_t t,
+      std::span<const std::size_t> candidates) override;
+
+ private:
+  outlier::XgbodParams params_;
+  double contamination_;
+};
+
+/// PU-EN adapter (Elkan–Noto with swapped roles): flags a candidate when the
+/// calibrated probability of belonging to the labeled (finished) class drops
+/// below 1/2.
+class PuEnPredictor final : public StragglerPredictor {
+ public:
+  explicit PuEnPredictor(pu::PuEnParams params = {});
+  std::string name() const override { return "PU-EN"; }
+  void initialize(const trace::Job& job, double tau_stra) override;
+  std::vector<std::size_t> predict_stragglers(
+      const trace::Job& job, std::size_t t,
+      std::span<const std::size_t> candidates) override;
+
+ private:
+  pu::PuEnParams params_;
+};
+
+/// PU-BG adapter (bagging SVM): flags a candidate when its aggregated
+/// out-of-bag decision value leans toward the non-finished side (> 0).
+class PuBgPredictor final : public StragglerPredictor {
+ public:
+  explicit PuBgPredictor(pu::PuBgParams params = {});
+  std::string name() const override { return "PU-BG"; }
+  void initialize(const trace::Job& job, double tau_stra) override;
+  std::vector<std::size_t> predict_stragglers(
+      const trace::Job& job, std::size_t t,
+      std::span<const std::size_t> candidates) override;
+
+ private:
+  pu::PuBgParams params_;
+};
+
+/// Linear Tobit adapter: all tasks enter the fit (finished uncensored,
+/// running right-censored at τrun_t); flags when the latent prediction
+/// reaches τstra.
+class TobitPredictor final : public StragglerPredictor {
+ public:
+  explicit TobitPredictor(censored::TobitParams params = {});
+  std::string name() const override { return "Tobit"; }
+  void initialize(const trace::Job& job, double tau_stra) override;
+  std::vector<std::size_t> predict_stragglers(
+      const trace::Job& job, std::size_t t,
+      std::span<const std::size_t> candidates) override;
+
+ private:
+  censored::TobitParams params_;
+  double tau_stra_ = 0.0;
+};
+
+/// Grabit adapter: gradient boosting with the Tobit loss; σ is set to the
+/// stddev of the finished tasks' latencies at each checkpoint.
+class GrabitPredictor final : public StragglerPredictor {
+ public:
+  explicit GrabitPredictor(ml::GbtParams params = {});
+  std::string name() const override { return "Grabit"; }
+  void initialize(const trace::Job& job, double tau_stra) override;
+  std::vector<std::size_t> predict_stragglers(
+      const trace::Job& job, std::size_t t,
+      std::span<const std::size_t> candidates) override;
+
+ private:
+  ml::GbtParams params_;
+  double tau_stra_ = 0.0;
+};
+
+/// CoxPH adapter: completion is the event; flags when the predicted
+/// probability of surviving past τstra reaches 1/2.
+class CoxPredictor final : public StragglerPredictor {
+ public:
+  explicit CoxPredictor(censored::CoxParams params = {});
+  std::string name() const override { return "CoxPH"; }
+  void initialize(const trace::Job& job, double tau_stra) override;
+  std::vector<std::size_t> predict_stragglers(
+      const trace::Job& job, std::size_t t,
+      std::span<const std::size_t> candidates) override;
+
+ private:
+  censored::CoxParams params_;
+  double tau_stra_ = 0.0;
+};
+
+/// Wrangler (Yadwadkar et al. 2014): the one privileged baseline — a random
+/// 2/3 of the job's tasks (with their true labels, stragglers included) form
+/// an offline training sample, stragglers are oversampled to balance, and a
+/// linear SVM classifies the rest at every checkpoint. Mirrors §6 exactly.
+class WranglerPredictor final : public StragglerPredictor {
+ public:
+  explicit WranglerPredictor(ml::SvmParams params = {},
+                             double train_fraction = 2.0 / 3.0,
+                             std::uint64_t seed = 97);
+  std::string name() const override { return "Wrangler"; }
+  void initialize(const trace::Job& job, double tau_stra) override;
+  std::vector<std::size_t> predict_stragglers(
+      const trace::Job& job, std::size_t t,
+      std::span<const std::size_t> candidates) override;
+
+ private:
+  ml::SvmParams params_;
+  double train_fraction_;
+  std::uint64_t seed_;
+  std::vector<std::size_t> train_ids_;
+  std::vector<int> labels_;
+};
+
+}  // namespace nurd::core

@@ -1,0 +1,104 @@
+#include "core/nurd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/matrix.h"
+
+namespace nurd::core {
+
+NurdPredictor::NurdPredictor(NurdParams params) : params_(params) {
+  NURD_CHECK(params_.alpha > 0.0, "alpha must be positive");
+  NURD_CHECK(params_.epsilon > 0.0 && params_.epsilon <= 1.0,
+             "epsilon must be in (0,1]");
+}
+
+void NurdPredictor::initialize(const trace::Job& job, double tau_stra) {
+  NURD_CHECK(!job.checkpoints.empty(), "job has no checkpoints");
+  tau_stra_ = tau_stra;
+
+  // Latency indicator ρ from the first checkpoint's feature centroids
+  // (Algorithm 1 lines 4–6). ρ ≤ 1 ⇒ far tail ⇒ large δ (suppress false
+  // positives); ρ > 1 ⇒ near tail ⇒ small/negative δ (recover true
+  // positives).
+  const auto& cp0 = job.checkpoints.front();
+  const Matrix x_fin = cp0.features.select_rows(cp0.finished);
+  const Matrix x_run = cp0.features.select_rows(cp0.running);
+  if (x_fin.empty() || x_run.empty()) {
+    rho_ = 1.0;  // degenerate start: neutral calibration
+  } else {
+    const auto c_fin = x_fin.col_means();
+    const auto c_run = x_run.col_means();
+    std::vector<double> diff(c_fin.size());
+    for (std::size_t j = 0; j < c_fin.size(); ++j) {
+      diff[j] = c_run[j] - c_fin[j];
+    }
+    const double sep = norm2(diff);
+    rho_ = sep > 1e-12 ? norm2(c_fin) / sep : 1.0;
+  }
+  delta_ = 1.0 / (1.0 + rho_) - params_.alpha;
+}
+
+double NurdPredictor::weight(double propensity) const {
+  const double z = params_.calibrate ? propensity + delta_ : propensity;
+  return std::max(params_.epsilon, std::min(z, 1.0));
+}
+
+NurdPredictor::CheckpointModels NurdPredictor::fit_models(
+    const trace::Job& job, std::size_t t) const {
+  NURD_CHECK(t < job.checkpoints.size(), "checkpoint index out of range");
+  const auto& cp = job.checkpoints[t];
+  CheckpointModels models;
+  if (cp.finished.empty()) return models;
+
+  // ht: latency model on finished tasks (Algorithm 1 line 11).
+  const Matrix x_fin = cp.features.select_rows(cp.finished);
+  std::vector<double> y_fin(cp.finished.size());
+  for (std::size_t i = 0; i < cp.finished.size(); ++i) {
+    y_fin[i] = job.latencies[cp.finished[i]];
+  }
+  models.ht.emplace(ml::GradientBoosting::regressor(params_.gbt));
+  models.ht->fit(x_fin, y_fin);
+
+  // gt: propensity of membership in the finished set — an unweighted
+  // logistic regression on finished(1) vs running(0), exactly Eq. 2: the
+  // propensity reflects both the class prior (how much of the job has
+  // finished) and feature similarity. Absent when one class is missing.
+  if (!cp.running.empty()) {
+    Matrix x_all(0, 0);
+    std::vector<double> y_all;
+    for (auto i : cp.finished) {
+      x_all.push_row(cp.features.row(i));
+      y_all.push_back(1.0);
+    }
+    for (auto i : cp.running) {
+      x_all.push_row(cp.features.row(i));
+      y_all.push_back(0.0);
+    }
+    models.gt.emplace(params_.propensity);
+    models.gt->fit(x_all, y_all);
+  }
+  return models;
+}
+
+std::vector<std::size_t> NurdPredictor::predict_stragglers(
+    const trace::Job& job, std::size_t t,
+    std::span<const std::size_t> candidates) {
+  NURD_CHECK(t < job.checkpoints.size(), "checkpoint index out of range");
+  const auto& cp = job.checkpoints[t];
+  if (cp.finished.empty() || candidates.empty()) return {};
+  const auto models = fit_models(job, t);
+
+  std::vector<std::size_t> flagged;
+  for (auto i : candidates) {
+    const auto row = cp.features.row(i);
+    const double y_hat = models.ht->predict(row);
+    const double z = models.gt ? models.gt->predict_proba(row) : 1.0;
+    const double y_adj = y_hat / weight(z);
+    if (y_adj >= tau_stra_) flagged.push_back(i);
+  }
+  return flagged;
+}
+
+}  // namespace nurd::core

@@ -1,0 +1,83 @@
+// NURD — the paper's primary contribution (Algorithm 1).
+//
+// At each checkpoint t:
+//   1. Train a latency predictor ht on finished tasks (negatives only).
+//   2. Train a propensity-score model gt: P(finished by now | features),
+//      a logistic regression on finished(1) vs running(0).
+//   3. Reweight: ŷadj = ht(x) / max(ε, min(gt(x) + δ, 1)), where the
+//      calibration term δ = 1/(1+ρ) − α is set once from the feature-space
+//      centroid ratio ρ = ‖c_fin‖₂ / ‖c_run − c_fin‖₂ at the first
+//      checkpoint (§4.2 "Calibration").
+//   4. Flag task i as a straggler when ŷadj ≥ τstra; flagged tasks leave the
+//      evaluation pool.
+// Both models are refitted from the growing finished set at every
+// checkpoint (§4.3 "Updating models online").
+//
+// NURD-NC is the ablation with w = z (no calibration term).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/predictor.h"
+#include "ml/gbt.h"
+#include "ml/logistic.h"
+
+namespace nurd::core {
+
+/// NURD hyperparameters (§6: α = 0.5, ε = 0.05).
+struct NurdParams {
+  double alpha = 0.5;     ///< calibration range: δ ∈ (−α, α)
+  double epsilon = 0.05;  ///< minimum positive weight ε
+  bool calibrate = true;  ///< false ⇒ NURD-NC (w = z)
+  ml::GbtParams gbt;      ///< latency-model settings
+  ml::LogisticParams propensity;  ///< PS-model settings
+};
+
+/// Online NURD predictor (one instance per job).
+class NurdPredictor final : public StragglerPredictor {
+ public:
+  explicit NurdPredictor(NurdParams params = {});
+
+  std::string name() const override {
+    return params_.calibrate ? "NURD" : "NURD-NC";
+  }
+
+  void initialize(const trace::Job& job, double tau_stra) override;
+
+  std::vector<std::size_t> predict_stragglers(
+      const trace::Job& job, std::size_t t,
+      std::span<const std::size_t> candidates) override;
+
+  /// Centroid ratio ρ computed at initialization (exposed for tests and the
+  /// calibration ablation bench).
+  double rho() const { return rho_; }
+
+  /// Calibration term δ = 1/(1+ρ) − α.
+  double delta() const { return delta_; }
+
+  /// The final weight w = max(ε, min(z + δ, 1)) for a propensity z — the
+  /// paper's Eq. 4 denominator. Exposed for tests.
+  double weight(double propensity) const;
+
+  /// The two models Algorithm 1 fits at a checkpoint: the latency predictor
+  /// ht (absent when no task has finished) and the propensity model gt
+  /// (absent when one class is empty). Exposed so extensions (e.g. the
+  /// transfer-learning variant) can reuse NURD's fitting and reweighting.
+  struct CheckpointModels {
+    std::optional<ml::GradientBoosting> ht;
+    std::optional<ml::LogisticRegression> gt;
+  };
+
+  /// Fits ht and gt from checkpoint `t`'s finished/running split.
+  CheckpointModels fit_models(const trace::Job& job, std::size_t t) const;
+
+ private:
+  NurdParams params_;
+  double tau_stra_ = 0.0;
+  double rho_ = 1.0;
+  double delta_ = 0.0;
+};
+
+}  // namespace nurd::core

@@ -1,0 +1,56 @@
+// The unified online straggler-prediction interface. Every method in the
+// paper's Table 3 — NURD, NURD-NC, and the 21 baselines — implements this
+// interface, so the evaluation harness, scheduler simulations, and benches
+// treat them identically.
+//
+// Protocol (paper §2 and §7.1): the harness walks a job's checkpoints in
+// order and asks the predictor which of the not-yet-flagged running tasks
+// will straggle. A task flagged positive is never asked about again; a task
+// predicted negative is re-evaluated while it remains running.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/job.h"
+
+namespace nurd::core {
+
+/// Stateful per-job online predictor. Create one instance per job (via
+/// PredictorFactory); the harness calls initialize() once and then
+/// predict_stragglers() at each checkpoint in ascending order.
+class StragglerPredictor {
+ public:
+  virtual ~StragglerPredictor() = default;
+
+  /// Method name as printed in Table 3 (e.g. "NURD", "Grabit").
+  virtual std::string name() const = 0;
+
+  /// Called once before the first checkpoint. `tau_stra` is the operator's
+  /// straggler threshold (p90 in all paper experiments). Implementations
+  /// must not read task latencies beyond what the first checkpoint reveals —
+  /// except Wrangler, whose privileged offline sample is part of its
+  /// published protocol (§6).
+  virtual void initialize(const trace::Job& job, double tau_stra) = 0;
+
+  /// Returns the subset of `candidates` (running, not yet flagged) predicted
+  /// to straggle at checkpoint `t`.
+  virtual std::vector<std::size_t> predict_stragglers(
+      const trace::Job& job, std::size_t t,
+      std::span<const std::size_t> candidates) = 0;
+};
+
+/// Factory producing a fresh predictor per job.
+using PredictorFactory =
+    std::function<std::unique_ptr<StragglerPredictor>()>;
+
+/// A named factory, the registry currency.
+struct NamedPredictor {
+  std::string name;
+  PredictorFactory make;
+};
+
+}  // namespace nurd::core

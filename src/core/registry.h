@@ -1,0 +1,46 @@
+// The method registry: one NamedPredictor per Table-3 row, in the paper's
+// row order. Benches and the evaluation harness iterate this list to
+// reproduce the full comparison.
+#pragma once
+
+#include <vector>
+
+#include "core/predictor.h"
+
+namespace nurd::core {
+
+/// Tuning knobs shared across the registry (the paper tunes per-dataset on
+/// six pilot jobs; we expose the same handful of knobs).
+struct RegistryConfig {
+  double contamination = 0.1;  ///< outlier-detector flag rate (p90 ⇒ 0.1)
+  int gbt_rounds = 40;         ///< boosting rounds for all GBT-based methods
+  double nurd_alpha = 0.35;    ///< tuned on pilot jobs per §6's procedure —
+                               ///< the paper's own tuned value is 0.5; our
+                               ///< synthetic traces sit ~0.15 higher on the
+                               ///< ρ scale, so the tuned α shifts with them
+                               ///< (see DESIGN.md and the ablation bench)
+  double nurd_epsilon = 0.05;  ///< §6: ε = 0.05
+  double nurd_propensity_l2 = 0.3;  ///< PS-model ridge (per-dataset tuned)
+  int nurd_gbt_rounds = 80;    ///< NURD's latency-model boosting rounds
+  int nurd_tree_depth = 3;     ///< NURD's latency-model tree depth
+};
+
+/// Tuned configuration for Google-like traces (the paper tunes each method
+/// on six pilot jobs per dataset — §6 "Hyperparameter tuning").
+RegistryConfig google_tuned();
+
+/// Tuned configuration for Alibaba-like traces.
+RegistryConfig alibaba_tuned();
+
+/// All 23 methods of Table 3 (supervised, 14 outlier detectors, 2 PU
+/// learners, 3 censored/survival models, Wrangler, NURD-NC, NURD).
+std::vector<NamedPredictor> all_predictors(RegistryConfig config = {});
+
+/// Just NURD and NURD-NC (for quick runs and the ablation bench).
+std::vector<NamedPredictor> nurd_predictors(RegistryConfig config = {});
+
+/// Looks up a single method by Table-3 name (throws if unknown).
+NamedPredictor predictor_by_name(const std::string& name,
+                                 RegistryConfig config = {});
+
+}  // namespace nurd::core

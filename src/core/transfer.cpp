@@ -1,0 +1,107 @@
+#include "core/transfer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace nurd::core {
+
+TransferModel::TransferModel(ml::GbtParams params)
+    : params_(params), model_(ml::GradientBoosting::regressor(params)) {}
+
+void TransferModel::fit(std::span<const trace::Job> jobs) {
+  NURD_CHECK(!jobs.empty(), "transfer model needs source jobs");
+  Matrix x(0, 0);
+  std::vector<double> y;
+  for (const auto& job : jobs) {
+    NURD_CHECK(!job.checkpoints.empty(), "source job has no checkpoints");
+    // Use the final snapshot (fullest feature state) of every task.
+    const auto& cp = job.checkpoints.back();
+    const double med = median(job.latencies);
+    NURD_CHECK(med > 0.0, "source job has non-positive median latency");
+    const auto mu = cp.features.col_means();
+    const auto sd = cp.features.col_stddevs();
+    std::vector<double> row(cp.features.cols());
+    for (std::size_t i = 0; i < job.task_count(); ++i) {
+      auto src = cp.features.row(i);
+      for (std::size_t f = 0; f < row.size(); ++f) {
+        row[f] = (src[f] - mu[f]) / (sd[f] > 0.0 ? sd[f] : 1.0);
+      }
+      x.push_row(row);
+      y.push_back(std::log(job.latencies[i] / med));
+    }
+  }
+  model_ = ml::GradientBoosting::regressor(params_);
+  model_.fit(x, y);
+  pooled_ = x.rows();
+  fitted_ = true;
+}
+
+double TransferModel::predict(std::span<const double> row,
+                              std::span<const double> col_means,
+                              std::span<const double> col_stddevs,
+                              double median_latency) const {
+  NURD_CHECK(fitted_, "transfer model not fitted");
+  NURD_CHECK(row.size() == col_means.size() &&
+                 row.size() == col_stddevs.size(),
+             "normalization stats dimension mismatch");
+  std::vector<double> z(row.size());
+  for (std::size_t f = 0; f < row.size(); ++f) {
+    z[f] = (row[f] - col_means[f]) /
+           (col_stddevs[f] > 0.0 ? col_stddevs[f] : 1.0);
+  }
+  return median_latency * std::exp(model_.predict(z));
+}
+
+TransferNurdPredictor::TransferNurdPredictor(
+    std::shared_ptr<const TransferModel> global, TransferNurdParams params)
+    : global_(std::move(global)), params_(params), base_(params.nurd) {
+  NURD_CHECK(global_ != nullptr && global_->fitted(),
+             "transfer model must be fitted");
+  NURD_CHECK(params_.blend_halfway > 0.0, "blend_halfway must be positive");
+}
+
+void TransferNurdPredictor::initialize(const trace::Job& job,
+                                       double tau_stra) {
+  tau_stra_ = tau_stra;
+  base_.initialize(job, tau_stra);
+}
+
+double TransferNurdPredictor::lambda(std::size_t finished) const {
+  const double n = static_cast<double>(finished);
+  return n / (n + params_.blend_halfway);
+}
+
+std::vector<std::size_t> TransferNurdPredictor::predict_stragglers(
+    const trace::Job& job, std::size_t t,
+    std::span<const std::size_t> candidates) {
+  const auto& cp = job.checkpoints.at(t);
+  if (cp.finished.empty() || candidates.empty()) return {};
+  const auto models = base_.fit_models(job, t);
+
+  // Per-job normalization context for the global model: z-scoring over the
+  // current snapshot, latency scale from the finished tasks' median (the
+  // only latency scale observable online).
+  const auto mu = cp.features.col_means();
+  const auto sd = cp.features.col_stddevs();
+  std::vector<double> fin_lat;
+  fin_lat.reserve(cp.finished.size());
+  for (auto i : cp.finished) fin_lat.push_back(job.latencies[i]);
+  const double scale = std::max(median(fin_lat), 1e-9);
+  const double lam = lambda(cp.finished.size());
+
+  std::vector<std::size_t> flagged;
+  for (auto i : candidates) {
+    const auto row = cp.features.row(i);
+    const double local = models.ht->predict(row);
+    const double pooled = global_->predict(row, mu, sd, scale);
+    const double y_hat = lam * local + (1.0 - lam) * pooled;
+    const double z = models.gt ? models.gt->predict_proba(row) : 1.0;
+    if (y_hat / base_.weight(z) >= tau_stra_) flagged.push_back(i);
+  }
+  return flagged;
+}
+
+}  // namespace nurd::core

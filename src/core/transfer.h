@@ -1,0 +1,84 @@
+// Transfer-learning extension (the paper's future-work direction, §8:
+// "there is a possibility to apply transfer learning to incorporate
+// knowledge from other jobs to improve predictions").
+//
+// Design: jobs are unique (Reiss et al. 2012), so raw models do not move
+// across jobs — but the *shape* of the feature→relative-slowness mapping
+// does. A TransferModel pools normalized samples from completed jobs:
+// features are z-scored within their source job and latencies divided by
+// the job's median, giving a job-scale-free regression target
+// log(y / median). A TransferNurd predictor blends this global model with
+// the per-job ht, weighting the per-job model by how much local training
+// data exists:
+//
+//   ŷ = λ·ht(x) + (1−λ)·scale·exp(g_global(z-scored x)),  λ = n_fin/(n_fin+k)
+//
+// so early checkpoints (tiny finished sets — exactly where NURD is weakest)
+// lean on the pooled knowledge and late checkpoints converge to vanilla
+// NURD. The propensity score and calibration are unchanged.
+#pragma once
+
+#include <memory>
+
+#include "core/nurd.h"
+#include "core/predictor.h"
+#include "ml/gbt.h"
+
+namespace nurd::core {
+
+/// Pooled cross-job latency knowledge. Fit offline on completed jobs, then
+/// shared (read-only) by any number of TransferNurd predictors.
+class TransferModel {
+ public:
+  explicit TransferModel(ml::GbtParams params = {});
+
+  /// Pools every task of every job (features z-scored per job, target
+  /// log(latency/median)) and fits the global model.
+  void fit(std::span<const trace::Job> jobs);
+
+  /// Predicted latency for a raw feature row, rescaled by `median_latency`
+  /// (the consuming job's current scale estimate). Requires fit().
+  double predict(std::span<const double> row,
+                 std::span<const double> col_means,
+                 std::span<const double> col_stddevs,
+                 double median_latency) const;
+
+  bool fitted() const { return fitted_; }
+  std::size_t pooled_samples() const { return pooled_; }
+
+ private:
+  ml::GbtParams params_;
+  ml::GradientBoosting model_;
+  std::size_t pooled_ = 0;
+  bool fitted_ = false;
+};
+
+/// TransferNurd hyperparameters.
+struct TransferNurdParams {
+  NurdParams nurd;            ///< base NURD settings
+  double blend_halfway = 50;  ///< k: finished-set size at which λ = 1/2
+};
+
+/// NURD with cross-job warm-starting of the latency model.
+class TransferNurdPredictor final : public StragglerPredictor {
+ public:
+  TransferNurdPredictor(std::shared_ptr<const TransferModel> global,
+                        TransferNurdParams params = {});
+
+  std::string name() const override { return "NURD-TL"; }
+  void initialize(const trace::Job& job, double tau_stra) override;
+  std::vector<std::size_t> predict_stragglers(
+      const trace::Job& job, std::size_t t,
+      std::span<const std::size_t> candidates) override;
+
+  /// Blend weight λ for a finished-set size (exposed for tests).
+  double lambda(std::size_t finished) const;
+
+ private:
+  std::shared_ptr<const TransferModel> global_;
+  TransferNurdParams params_;
+  NurdPredictor base_;
+  double tau_stra_ = 0.0;
+};
+
+}  // namespace nurd::core

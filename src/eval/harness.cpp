@@ -1,0 +1,106 @@
+#include "eval/harness.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace nurd::eval {
+
+JobRunResult run_job(const trace::Job& job,
+                     core::StragglerPredictor& predictor, double pct) {
+  NURD_CHECK(!job.checkpoints.empty(), "job has no checkpoints");
+  const auto labels = job.straggler_labels(pct);
+  const double tau_stra = job.straggler_threshold(pct);
+  const std::size_t n = job.task_count();
+  const std::size_t T = job.checkpoints.size();
+
+  JobRunResult result;
+  result.flagged_at.assign(n, kNeverFlagged);
+  result.per_checkpoint.resize(T);
+
+  predictor.initialize(job, tau_stra);
+
+  for (std::size_t t = 0; t < T; ++t) {
+    const auto& cp = job.checkpoints[t];
+    // Candidates: running tasks that have not been flagged yet.
+    std::vector<std::size_t> candidates;
+    candidates.reserve(cp.running.size());
+    for (auto i : cp.running) {
+      if (result.flagged_at[i] == kNeverFlagged) candidates.push_back(i);
+    }
+    const auto flagged = predictor.predict_stragglers(job, t, candidates);
+    for (auto i : flagged) {
+      NURD_CHECK(i < n, "predictor flagged an invalid task id");
+      NURD_CHECK(result.flagged_at[i] == kNeverFlagged,
+                 "predictor flagged a task twice");
+      result.flagged_at[i] = t;
+    }
+
+    // Cumulative confusion at this checkpoint: every unflagged true
+    // straggler counts as a provisional miss.
+    Confusion& c = result.per_checkpoint[t];
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool flagged_yet = result.flagged_at[i] <= t;
+      if (flagged_yet && labels[i] == 1) ++c.tp;
+      if (flagged_yet && labels[i] == 0) ++c.fp;
+      if (!flagged_yet && labels[i] == 1) ++c.fn;
+      if (!flagged_yet && labels[i] == 0) ++c.tn;
+    }
+  }
+
+  result.final = result.per_checkpoint.back();
+  return result;
+}
+
+MethodResult evaluate_method(const core::NamedPredictor& method,
+                             std::span<const trace::Job> jobs, double pct) {
+  NURD_CHECK(!jobs.empty(), "no jobs to evaluate");
+  MethodResult out;
+  out.name = method.name;
+
+  std::size_t timeline_len = 0;
+  for (const auto& job : jobs) {
+    timeline_len = std::max(timeline_len, job.checkpoints.size());
+  }
+  out.f1_timeline.assign(timeline_len, 0.0);
+  std::vector<std::size_t> timeline_counts(timeline_len, 0);
+
+  for (const auto& job : jobs) {
+    auto predictor = method.make();
+    const auto run = run_job(job, *predictor, pct);
+    out.tpr += run.final.tpr();
+    out.fpr += run.final.fpr();
+    out.fnr += run.final.fnr();
+    out.f1 += run.final.f1();
+    for (std::size_t t = 0; t < run.per_checkpoint.size(); ++t) {
+      out.f1_timeline[t] += run.per_checkpoint[t].f1();
+      ++timeline_counts[t];
+    }
+  }
+
+  const double n = static_cast<double>(jobs.size());
+  out.tpr /= n;
+  out.fpr /= n;
+  out.fnr /= n;
+  out.f1 /= n;
+  for (std::size_t t = 0; t < timeline_len; ++t) {
+    if (timeline_counts[t] > 0) {
+      out.f1_timeline[t] /= static_cast<double>(timeline_counts[t]);
+    }
+  }
+  return out;
+}
+
+std::vector<JobRunResult> run_method(const core::NamedPredictor& method,
+                                     std::span<const trace::Job> jobs,
+                                     double pct) {
+  std::vector<JobRunResult> out;
+  out.reserve(jobs.size());
+  for (const auto& job : jobs) {
+    auto predictor = method.make();
+    out.push_back(run_job(job, *predictor, pct));
+  }
+  return out;
+}
+
+}  // namespace nurd::eval

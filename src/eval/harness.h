@@ -1,0 +1,62 @@
+// The online evaluation harness. Drives a StragglerPredictor over a job's
+// checkpoint stream under the paper's protocol (§7.1):
+//   * a task predicted positive is flagged permanently and never
+//     re-evaluated (Algorithm 1 removes it from Rt);
+//   * a task predicted negative is re-evaluated at the next checkpoint while
+//     it remains running;
+//   * final confusion counts each task once against its true p90 label;
+//   * streaming confusion at checkpoint t counts flags made up to t, with
+//     every not-yet-flagged true straggler as a (provisional) false negative
+//     — this is the cumulative F1 plotted in Figures 2 and 3.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/predictor.h"
+#include "eval/metrics.h"
+#include "trace/job.h"
+
+namespace nurd::eval {
+
+/// Sentinel for "task never flagged".
+inline constexpr std::size_t kNeverFlagged =
+    std::numeric_limits<std::size_t>::max();
+
+/// One predictor's run over one job.
+struct JobRunResult {
+  Confusion final;                        ///< end-of-job confusion
+  std::vector<Confusion> per_checkpoint;  ///< cumulative confusion at each t
+  std::vector<std::size_t> flagged_at;    ///< per task: checkpoint index or
+                                          ///< kNeverFlagged
+};
+
+/// Runs `predictor` over `job` (fresh instance expected) with the straggler
+/// threshold at latency percentile `pct`.
+JobRunResult run_job(const trace::Job& job,
+                     core::StragglerPredictor& predictor, double pct = 90.0);
+
+/// A method's metrics macro-averaged over a job set.
+struct MethodResult {
+  std::string name;
+  double tpr = 0.0;
+  double fpr = 0.0;
+  double fnr = 0.0;
+  double f1 = 0.0;
+  std::vector<double> f1_timeline;  ///< mean cumulative F1 per checkpoint
+};
+
+/// Evaluates one registry entry over all jobs (a fresh predictor per job).
+MethodResult evaluate_method(const core::NamedPredictor& method,
+                             std::span<const trace::Job> jobs,
+                             double pct = 90.0);
+
+/// Per-job run results for one method (used by the scheduler benches, which
+/// need flag times rather than aggregate rates).
+std::vector<JobRunResult> run_method(const core::NamedPredictor& method,
+                                     std::span<const trace::Job> jobs,
+                                     double pct = 90.0);
+
+}  // namespace nurd::eval

@@ -1,0 +1,38 @@
+#include "eval/metrics.h"
+
+namespace nurd::eval {
+
+double Confusion::tpr() const {
+  const auto pos = tp + fn;
+  return pos == 0 ? 0.0
+                  : static_cast<double>(tp) / static_cast<double>(pos);
+}
+
+double Confusion::fpr() const {
+  const auto neg = fp + tn;
+  return neg == 0 ? 0.0
+                  : static_cast<double>(fp) / static_cast<double>(neg);
+}
+
+double Confusion::fnr() const {
+  const auto pos = tp + fn;
+  return pos == 0 ? 0.0
+                  : static_cast<double>(fn) / static_cast<double>(pos);
+}
+
+double Confusion::f1() const {
+  const auto denom = 2 * tp + fp + fn;
+  return denom == 0 ? 1.0
+                    : 2.0 * static_cast<double>(tp) /
+                          static_cast<double>(denom);
+}
+
+Confusion& Confusion::operator+=(const Confusion& other) {
+  tp += other.tp;
+  fp += other.fp;
+  fn += other.fn;
+  tn += other.tn;
+  return *this;
+}
+
+}  // namespace nurd::eval

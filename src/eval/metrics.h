@@ -1,0 +1,29 @@
+// Confusion-matrix metrics under the paper's evaluation protocol (§7.1):
+// TPR, FPR, FNR and F1, reported per job and macro-averaged over jobs.
+#pragma once
+
+#include <cstddef>
+
+namespace nurd::eval {
+
+/// Confusion counts for one job's straggler predictions.
+struct Confusion {
+  std::size_t tp = 0;
+  std::size_t fp = 0;
+  std::size_t fn = 0;
+  std::size_t tn = 0;
+
+  /// True positive rate TP/(TP+FN); 0 when there are no positives.
+  double tpr() const;
+  /// False positive rate FP/(FP+TN); 0 when there are no negatives.
+  double fpr() const;
+  /// False negative rate FN/(TP+FN); 0 when there are no positives.
+  double fnr() const;
+  /// F1 = 2TP/(2TP+FP+FN); defined as 1 when the denominator is zero
+  /// (no positives anywhere and none predicted).
+  double f1() const;
+
+  Confusion& operator+=(const Confusion& other);
+};
+
+}  // namespace nurd::eval

@@ -1,0 +1,96 @@
+#include "ml/gbt.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace nurd::ml {
+
+GradientBoosting::GradientBoosting(std::unique_ptr<Loss> loss,
+                                   GbtParams params)
+    : loss_(std::move(loss)), params_(params) {
+  NURD_CHECK(loss_ != nullptr, "loss must not be null");
+  NURD_CHECK(params_.n_rounds > 0, "n_rounds must be positive");
+  NURD_CHECK(params_.learning_rate > 0.0, "learning_rate must be positive");
+}
+
+GradientBoosting GradientBoosting::regressor(GbtParams params) {
+  return {std::make_unique<SquaredLoss>(), params};
+}
+
+GradientBoosting GradientBoosting::classifier(GbtParams params) {
+  return {std::make_unique<LogisticLoss>(), params};
+}
+
+GradientBoosting GradientBoosting::grabit(double sigma, GbtParams params) {
+  return {std::make_unique<TobitLoss>(sigma), params};
+}
+
+void GradientBoosting::fit(const Matrix& x, std::span<const double> y) {
+  std::vector<Target> targets(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) targets[i] = {y[i], false};
+  fit(x, targets);
+}
+
+void GradientBoosting::fit(const Matrix& x, std::span<const Target> targets) {
+  NURD_CHECK(x.rows() == targets.size(), "row/target count mismatch");
+  NURD_CHECK(x.rows() > 0, "cannot fit on empty data");
+
+  const std::size_t n = x.rows();
+  trees_.clear();
+  base_score_ = loss_->init_score(targets);
+
+  std::vector<double> score(n, base_score_);
+  std::vector<double> grad(n), hess(n);
+  Rng rng(params_.seed);
+
+  std::vector<std::size_t> all_rows(n);
+  std::iota(all_rows.begin(), all_rows.end(), std::size_t{0});
+
+  for (int round = 0; round < params_.n_rounds; ++round) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto gh = loss_->grad_hess(targets[i], score[i]);
+      grad[i] = gh.grad;
+      hess[i] = gh.hess;
+    }
+
+    std::vector<std::size_t> rows;
+    if (params_.subsample >= 1.0) {
+      rows = all_rows;
+    } else {
+      const auto k = std::max<std::size_t>(
+          1, static_cast<std::size_t>(
+                 params_.subsample * static_cast<double>(n)));
+      rows = rng.sample_without_replacement(n, k);
+    }
+
+    RegressionTree tree;
+    tree.fit(x, grad, hess, rows, params_.tree, rng);
+
+    for (std::size_t i = 0; i < n; ++i) {
+      score[i] += params_.learning_rate * tree.predict(x.row(i));
+    }
+    trees_.push_back(std::move(tree));
+  }
+  fitted_ = true;
+}
+
+double GradientBoosting::predict_raw(std::span<const double> row) const {
+  NURD_CHECK(fitted_, "model not fitted");
+  double s = base_score_;
+  for (const auto& t : trees_) s += params_.learning_rate * t.predict(row);
+  return s;
+}
+
+double GradientBoosting::predict(std::span<const double> row) const {
+  return loss_->transform(predict_raw(row));
+}
+
+std::vector<double> GradientBoosting::predict(const Matrix& x) const {
+  std::vector<double> out(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) out[i] = predict(x.row(i));
+  return out;
+}
+
+}  // namespace nurd::ml

@@ -1,0 +1,76 @@
+// Gradient boosting over regression trees with a pluggable second-order
+// loss. This single engine provides:
+//   * GBTR (squared loss)            — the paper's supervised baseline and
+//                                      NURD's latency predictor ht
+//   * boosted logistic classifier    — XGBOD / PU-EN base learner
+//   * Grabit (Tobit loss)            — censored-regression baseline
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "ml/loss.h"
+#include "ml/tree.h"
+
+namespace nurd::ml {
+
+/// Boosting hyperparameters (tree params embedded).
+struct GbtParams {
+  int n_rounds = 50;
+  double learning_rate = 0.1;
+  double subsample = 1.0;  ///< row subsampling fraction per round
+  TreeParams tree;
+  std::uint64_t seed = 7;
+};
+
+/// Newton-boosted tree ensemble. Fit once; predict is const and thread-safe.
+class GradientBoosting {
+ public:
+  /// Constructs with a loss (owned) and hyperparameters.
+  GradientBoosting(std::unique_ptr<Loss> loss, GbtParams params);
+
+  /// Convenience: squared-loss regressor.
+  static GradientBoosting regressor(GbtParams params = {});
+
+  /// Convenience: logistic-loss classifier (predict() returns probability).
+  static GradientBoosting classifier(GbtParams params = {});
+
+  /// Convenience: Tobit-loss (Grabit) regressor with latent scale sigma.
+  static GradientBoosting grabit(double sigma, GbtParams params = {});
+
+  /// Fits the ensemble to rows of `x` with targets (value + censoring flag).
+  void fit(const Matrix& x, std::span<const Target> targets);
+
+  /// Fits with plain values (no censoring) — regression/classification path.
+  void fit(const Matrix& x, std::span<const double> y);
+
+  /// Transformed prediction for one row (identity for regression, probability
+  /// for logistic).
+  double predict(std::span<const double> row) const;
+
+  /// Transformed predictions for every row of `x`.
+  std::vector<double> predict(const Matrix& x) const;
+
+  /// Raw (untransformed) boosted score for one row.
+  double predict_raw(std::span<const double> row) const;
+
+  /// Number of boosting rounds actually fitted.
+  std::size_t tree_count() const { return trees_.size(); }
+
+  /// Training loss trajectory is not retained; this reports the base score.
+  double base_score() const { return base_score_; }
+
+  bool fitted() const { return fitted_; }
+
+ private:
+  std::unique_ptr<Loss> loss_;
+  GbtParams params_;
+  std::vector<RegressionTree> trees_;
+  double base_score_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace nurd::ml

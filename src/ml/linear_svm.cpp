@@ -1,0 +1,77 @@
+#include "ml/linear_svm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace nurd::ml {
+
+LinearSVM::LinearSVM(SvmParams params) : params_(params) {
+  NURD_CHECK(params_.lambda > 0.0, "lambda must be positive");
+  NURD_CHECK(params_.epochs > 0, "epochs must be positive");
+}
+
+void LinearSVM::fit(const Matrix& x, std::span<const double> y,
+                    std::span<const double> sample_weight) {
+  NURD_CHECK(x.rows() == y.size(), "row/label count mismatch");
+  NURD_CHECK(x.rows() > 0, "cannot fit on empty data");
+  NURD_CHECK(sample_weight.empty() || sample_weight.size() == y.size(),
+             "sample weight length mismatch");
+
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  const Matrix xs = scaler_.fit_transform(x);
+
+  w_.assign(d, 0.0);
+  b_ = 0.0;
+  Rng rng(params_.seed);
+
+  // Pegasos: step size 1/(λ·t); the bias is updated without regularization.
+  std::size_t t = 0;
+  for (int epoch = 0; epoch < params_.epochs; ++epoch) {
+    const auto order = rng.permutation(n);
+    for (std::size_t idx : order) {
+      ++t;
+      const double eta = 1.0 / (params_.lambda * static_cast<double>(t));
+      const double label = y[idx] > 0.5 ? 1.0 : -1.0;
+      const double sw = sample_weight.empty() ? 1.0 : sample_weight[idx];
+      auto row = xs.row(idx);
+      double margin = b_;
+      for (std::size_t j = 0; j < d; ++j) margin += w_[j] * row[j];
+      margin *= label;
+
+      const double shrink = 1.0 - eta * params_.lambda;
+      for (auto& wj : w_) wj *= shrink;
+      if (margin < 1.0) {
+        for (std::size_t j = 0; j < d; ++j) {
+          w_[j] += eta * sw * label * row[j];
+        }
+        b_ += eta * sw * label;
+      }
+    }
+  }
+  fitted_ = true;
+}
+
+double LinearSVM::decision(std::span<const double> row) const {
+  NURD_CHECK(fitted_, "model not fitted");
+  std::vector<double> r(row.begin(), row.end());
+  scaler_.transform_row(r);
+  double z = b_;
+  for (std::size_t j = 0; j < w_.size(); ++j) z += w_[j] * r[j];
+  return z;
+}
+
+double LinearSVM::predict(std::span<const double> row) const {
+  return decision(row) > 0.0 ? 1.0 : 0.0;
+}
+
+std::vector<double> LinearSVM::decision(const Matrix& x) const {
+  std::vector<double> out(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) out[i] = decision(x.row(i));
+  return out;
+}
+
+}  // namespace nurd::ml

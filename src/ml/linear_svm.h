@@ -1,0 +1,53 @@
+// Linear SVM trained with Pegasos-style SGD on the hinge loss. This is the
+// Wrangler baseline's classifier (Yadwadkar et al. 2014 use linear SVMs for
+// interpretability) and the base learner of the PU-BG bagging ensemble.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/scaler.h"
+
+namespace nurd::ml {
+
+/// Linear SVM hyperparameters.
+struct SvmParams {
+  double lambda = 1e-3;  ///< L2 regularization strength
+  int epochs = 30;       ///< passes over the data
+  std::uint64_t seed = 11;
+};
+
+/// Binary linear SVM. Labels are {0,1} externally, mapped to {−1,+1}
+/// internally. Per-sample weights allow class rebalancing (Wrangler's
+/// straggler oversampling is expressed as weights).
+class LinearSVM {
+ public:
+  explicit LinearSVM(SvmParams params = {});
+
+  /// Fits with Pegasos SGD. Optional per-sample weights scale each sample's
+  /// hinge subgradient (empty = uniform).
+  void fit(const Matrix& x, std::span<const double> y,
+           std::span<const double> sample_weight = {});
+
+  /// Signed decision value w·x̃ + b; positive predicts class 1.
+  double decision(std::span<const double> row) const;
+
+  /// Predicted class in {0,1}.
+  double predict(std::span<const double> row) const;
+
+  /// Decision values for every row.
+  std::vector<double> decision(const Matrix& x) const;
+
+  bool fitted() const { return fitted_; }
+
+ private:
+  SvmParams params_;
+  StandardScaler scaler_;
+  std::vector<double> w_;
+  double b_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace nurd::ml

@@ -1,0 +1,101 @@
+#include "ml/logistic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/linalg.h"
+#include "common/stats.h"
+
+namespace nurd::ml {
+
+LogisticRegression::LogisticRegression(LogisticParams params)
+    : params_(params) {
+  NURD_CHECK(params_.l2 >= 0.0, "l2 must be non-negative");
+}
+
+void LogisticRegression::fit(const Matrix& x, std::span<const double> y,
+                             std::span<const double> sample_weight) {
+  NURD_CHECK(x.rows() == y.size(), "row/label count mismatch");
+  NURD_CHECK(x.rows() > 0, "cannot fit on empty data");
+  NURD_CHECK(sample_weight.empty() || sample_weight.size() == y.size(),
+             "sample weight length mismatch");
+
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  const Matrix xs = scaler_.fit_transform(x);
+
+  // Parameter vector θ = [w; b], dimension d+1 (bias last, unpenalized).
+  const std::size_t p = d + 1;
+  std::vector<double> theta(p, 0.0);
+
+  auto weight_of = [&](std::size_t i) {
+    return sample_weight.empty() ? 1.0 : sample_weight[i];
+  };
+
+  for (int it = 0; it < params_.max_iterations; ++it) {
+    // Gradient and Hessian of the penalized negative log-likelihood.
+    std::vector<double> grad(p, 0.0);
+    Matrix hess(p, p, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto row = xs.row(i);
+      double z = theta[d];
+      for (std::size_t j = 0; j < d; ++j) z += theta[j] * row[j];
+      const double mu = sigmoid(z);
+      const double sw = weight_of(i);
+      const double r = sw * (mu - y[i]);
+      const double v = std::max(sw * mu * (1.0 - mu), 1e-10);
+      for (std::size_t j = 0; j < d; ++j) {
+        grad[j] += r * row[j];
+        for (std::size_t k = j; k < d; ++k) hess(j, k) += v * row[j] * row[k];
+        hess(j, d) += v * row[j];
+      }
+      grad[d] += r;
+      hess(d, d) += v;
+    }
+    for (std::size_t j = 0; j < d; ++j) {
+      grad[j] += params_.l2 * theta[j];
+      hess(j, j) += params_.l2;
+    }
+    // Small ridge on the full Hessian keeps Cholesky well-posed even for
+    // separable data.
+    for (std::size_t j = 0; j < p; ++j) hess(j, j) += 1e-8;
+    for (std::size_t j = 0; j < p; ++j)
+      for (std::size_t k = j + 1; k < p; ++k) hess(k, j) = hess(j, k);
+
+    auto l = cholesky(hess);
+    if (!l) break;  // numerically degenerate; keep current estimate
+    const auto step = cholesky_solve(*l, grad);
+    double max_step = 0.0;
+    for (std::size_t j = 0; j < p; ++j) {
+      theta[j] -= step[j];
+      max_step = std::max(max_step, std::abs(step[j]));
+    }
+    if (max_step < params_.tolerance) break;
+  }
+
+  w_.assign(theta.begin(), theta.begin() + static_cast<std::ptrdiff_t>(d));
+  b_ = theta[d];
+  fitted_ = true;
+}
+
+double LogisticRegression::decision(std::span<const double> row) const {
+  NURD_CHECK(fitted_, "model not fitted");
+  std::vector<double> r(row.begin(), row.end());
+  scaler_.transform_row(r);
+  double z = b_;
+  for (std::size_t j = 0; j < w_.size(); ++j) z += w_[j] * r[j];
+  return z;
+}
+
+double LogisticRegression::predict_proba(std::span<const double> row) const {
+  return sigmoid(decision(row));
+}
+
+std::vector<double> LogisticRegression::predict_proba(const Matrix& x) const {
+  std::vector<double> out(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) out[i] = predict_proba(x.row(i));
+  return out;
+}
+
+}  // namespace nurd::ml

@@ -1,0 +1,55 @@
+// L2-regularized logistic regression fitted by Newton–Raphson (IRLS).
+// This is NURD's propensity-score estimator gt (paper §4.2, citing Cepeda
+// et al. 2003 for PS-by-logistic-regression) and the PU-EN nontraditional
+// classifier's lightweight alternative.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/scaler.h"
+
+namespace nurd::ml {
+
+/// Logistic regression hyperparameters.
+struct LogisticParams {
+  double l2 = 1.0;          ///< ridge penalty on weights (not intercept)
+  int max_iterations = 25;  ///< Newton iterations
+  double tolerance = 1e-8;  ///< stop when max |step| falls below this
+};
+
+/// Binary logistic regression: P(y=1|x) = σ(w·x̃ + b) on standardized
+/// features. Labels are {0,1}. Sample weights supported (used by baselines
+/// that oversample).
+class LogisticRegression {
+ public:
+  explicit LogisticRegression(LogisticParams params = {});
+
+  /// Fits to rows of `x` with labels `y` in {0,1}. Optional per-sample
+  /// weights (empty span = uniform).
+  void fit(const Matrix& x, std::span<const double> y,
+           std::span<const double> sample_weight = {});
+
+  /// P(y=1|row).
+  double predict_proba(std::span<const double> row) const;
+
+  /// P(y=1) for every row of `x`.
+  std::vector<double> predict_proba(const Matrix& x) const;
+
+  /// Raw decision value w·x̃ + b (log-odds).
+  double decision(std::span<const double> row) const;
+
+  bool fitted() const { return fitted_; }
+  const std::vector<double>& weights() const { return w_; }
+  double intercept() const { return b_; }
+
+ private:
+  LogisticParams params_;
+  StandardScaler scaler_;
+  std::vector<double> w_;
+  double b_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace nurd::ml

@@ -1,0 +1,155 @@
+#include "ml/tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace nurd::ml {
+
+namespace {
+
+struct SplitCandidate {
+  double gain = -std::numeric_limits<double>::infinity();
+  std::size_t feature = 0;
+  double threshold = 0.0;
+};
+
+double leaf_objective(double g, double h, double lambda) {
+  return -0.5 * g * g / (h + lambda);
+}
+
+}  // namespace
+
+void RegressionTree::fit(const Matrix& x, std::span<const double> grad,
+                         std::span<const double> hess,
+                         std::span<const std::size_t> rows,
+                         const TreeParams& params, Rng& rng) {
+  NURD_CHECK(grad.size() == x.rows() && hess.size() == x.rows(),
+             "grad/hess length must match row count");
+  NURD_CHECK(!rows.empty(), "cannot fit a tree on zero rows");
+  nodes_.clear();
+  std::vector<std::size_t> work(rows.begin(), rows.end());
+  build(x, grad, hess, work, 0, params, rng);
+}
+
+std::int32_t RegressionTree::build(const Matrix& x,
+                                   std::span<const double> grad,
+                                   std::span<const double> hess,
+                                   std::vector<std::size_t>& rows, int depth,
+                                   const TreeParams& params, Rng& rng) {
+  double g_total = 0.0, h_total = 0.0;
+  for (auto r : rows) {
+    g_total += grad[r];
+    h_total += hess[r];
+  }
+
+  const auto make_leaf = [&]() -> std::int32_t {
+    Node leaf;
+    leaf.is_leaf = true;
+    leaf.value = -g_total / (h_total + params.lambda);
+    leaf.depth = depth;
+    nodes_.push_back(leaf);
+    return static_cast<std::int32_t>(nodes_.size() - 1);
+  };
+
+  if (depth >= params.max_depth || rows.size() < 2) return make_leaf();
+
+  // Choose the feature subset for this node.
+  const std::size_t d = x.cols();
+  std::vector<std::size_t> features;
+  if (params.colsample >= 1.0) {
+    features.resize(d);
+    std::iota(features.begin(), features.end(), std::size_t{0});
+  } else {
+    const auto k = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::llround(
+               params.colsample * static_cast<double>(d))));
+    features = rng.sample_without_replacement(d, k);
+  }
+
+  const double parent_obj = leaf_objective(g_total, h_total, params.lambda);
+  SplitCandidate best;
+
+  std::vector<std::size_t> sorted = rows;
+  for (std::size_t f : features) {
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return x(a, f) < x(b, f);
+                     });
+    double g_left = 0.0, h_left = 0.0;
+    for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+      g_left += grad[sorted[i]];
+      h_left += hess[sorted[i]];
+      const double v = x(sorted[i], f);
+      const double v_next = x(sorted[i + 1], f);
+      if (v_next <= v) continue;  // can't split between equal values
+      const double g_right = g_total - g_left;
+      const double h_right = h_total - h_left;
+      if (h_left < params.min_child_weight ||
+          h_right < params.min_child_weight) {
+        continue;
+      }
+      const double gain = parent_obj -
+                          leaf_objective(g_left, h_left, params.lambda) -
+                          leaf_objective(g_right, h_right, params.lambda);
+      if (gain > best.gain) {
+        best.gain = gain;
+        best.feature = f;
+        best.threshold = 0.5 * (v + v_next);
+      }
+    }
+  }
+
+  if (best.gain <= params.gamma) return make_leaf();
+
+  std::vector<std::size_t> left_rows, right_rows;
+  left_rows.reserve(rows.size());
+  right_rows.reserve(rows.size());
+  for (auto r : rows) {
+    (x(r, best.feature) <= best.threshold ? left_rows : right_rows)
+        .push_back(r);
+  }
+  if (left_rows.empty() || right_rows.empty()) return make_leaf();
+
+  // Reserve this node's slot before recursing so children land after it.
+  Node node;
+  node.is_leaf = false;
+  node.feature = best.feature;
+  node.threshold = best.threshold;
+  node.depth = depth;
+  nodes_.push_back(node);
+  const auto self = static_cast<std::int32_t>(nodes_.size() - 1);
+  const auto left = build(x, grad, hess, left_rows, depth + 1, params, rng);
+  const auto right = build(x, grad, hess, right_rows, depth + 1, params, rng);
+  nodes_[static_cast<std::size_t>(self)].left = left;
+  nodes_[static_cast<std::size_t>(self)].right = right;
+  return self;
+}
+
+double RegressionTree::predict(std::span<const double> row) const {
+  if (nodes_.empty()) return 0.0;
+  std::size_t i = 0;
+  while (!nodes_[i].is_leaf) {
+    const auto& n = nodes_[i];
+    i = static_cast<std::size_t>(row[n.feature] <= n.threshold ? n.left
+                                                               : n.right);
+  }
+  return nodes_[i].value;
+}
+
+std::size_t RegressionTree::leaf_count() const {
+  std::size_t c = 0;
+  for (const auto& n : nodes_) c += n.is_leaf ? 1 : 0;
+  return c;
+}
+
+int RegressionTree::depth() const {
+  int d = 0;
+  for (const auto& n : nodes_) d = std::max(d, n.depth);
+  return d;
+}
+
+}  // namespace nurd::ml

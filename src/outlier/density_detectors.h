@@ -1,0 +1,43 @@
+// Density-style detectors:
+//   HBOS — histogram-based outlier score (Goldstein & Dengel 2012): features
+//          are treated independently; score is the sum of per-feature
+//          negative log densities.
+//   SOS  — stochastic outlier selection (Janssens et al. 2012): perplexity-
+//          calibrated affinities define binding probabilities; the outlier
+//          probability is the product of "not bound to" probabilities.
+#pragma once
+
+#include <vector>
+
+#include "outlier/detector.h"
+
+namespace nurd::outlier {
+
+/// Histogram-based outlier score.
+class HbosDetector final : public Detector {
+ public:
+  explicit HbosDetector(std::size_t bins = 10) : bins_(bins) {}
+  void fit(const Matrix& x) override;
+  const std::vector<double>& scores() const override { return scores_; }
+  std::string name() const override { return "HBOS"; }
+
+ private:
+  std::size_t bins_;
+  std::vector<double> scores_;
+};
+
+/// Stochastic outlier selection. O(n²) affinity computation with per-point
+/// bandwidths found by binary search on perplexity.
+class SosDetector final : public Detector {
+ public:
+  explicit SosDetector(double perplexity = 4.5) : perplexity_(perplexity) {}
+  void fit(const Matrix& x) override;
+  const std::vector<double>& scores() const override { return scores_; }
+  std::string name() const override { return "SOS"; }
+
+ private:
+  double perplexity_;
+  std::vector<double> scores_;
+};
+
+}  // namespace nurd::outlier

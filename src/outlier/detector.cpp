@@ -1,0 +1,28 @@
+#include "outlier/detector.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace nurd::outlier {
+
+double contamination_threshold(std::span<const double> scores,
+                               double contamination) {
+  NURD_CHECK(!scores.empty(), "no scores to threshold");
+  NURD_CHECK(contamination > 0.0 && contamination < 1.0,
+             "contamination must be in (0,1)");
+  return percentile(scores, 100.0 * (1.0 - contamination));
+}
+
+std::vector<int> labels_from_scores(std::span<const double> scores,
+                                    double contamination) {
+  const double thr = contamination_threshold(scores, contamination);
+  std::vector<int> labels(scores.size(), 0);
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    labels[i] = scores[i] > thr ? 1 : 0;
+  }
+  return labels;
+}
+
+}  // namespace nurd::outlier

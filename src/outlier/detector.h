@@ -1,0 +1,45 @@
+// Unsupervised outlier detection — the interface behind all fourteen
+// detectors the paper benchmarks against (§6 "Comparisons", PyOD versions).
+//
+// Detectors are used *transductively* in the online straggler pipeline: at
+// each checkpoint they are fitted on the feature snapshot of every task in
+// the job, and the scores of the still-running tasks are thresholded at a
+// contamination level. Higher score = more outlying, matching PyOD's
+// decision_scores_ convention.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace nurd::outlier {
+
+/// Base interface for unsupervised detectors.
+class Detector {
+ public:
+  virtual ~Detector() = default;
+
+  /// Fits the detector on the rows of `x` and computes per-row scores.
+  virtual void fit(const Matrix& x) = 0;
+
+  /// Outlier score per fitted row, aligned with the rows passed to fit().
+  /// Higher = more outlying. Only valid after fit().
+  virtual const std::vector<double>& scores() const = 0;
+
+  /// Short identifier matching the paper's method names (e.g. "LOF").
+  virtual std::string name() const = 0;
+};
+
+/// Score threshold that flags the top `contamination` fraction of the fitted
+/// sample as outliers (the (1−contamination)-quantile of `scores`).
+double contamination_threshold(std::span<const double> scores,
+                               double contamination);
+
+/// Binary outlier labels (1 = outlier) from scores at a contamination level.
+std::vector<int> labels_from_scores(std::span<const double> scores,
+                                    double contamination);
+
+}  // namespace nurd::outlier

@@ -1,0 +1,69 @@
+// Ensemble detectors:
+//   LSCP  — locally selective combination in parallel outlier ensembles
+//           (Zhao et al. 2019a): per test point, pick the base detector whose
+//           scores correlate best with the ensemble consensus in the point's
+//           local region.
+//   XGBOD — extreme boosting outlier detection (Zhao & Hryniewicki 2018):
+//           transformed outlier scores (TOS) from unsupervised detectors are
+//           appended to the raw features and a boosted classifier is trained
+//           on labels. In the online straggler setting there are no true
+//           labels, so callers supply finished(0)/running(1) pseudo-labels
+//           (see DESIGN.md §1).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ml/gbt.h"
+#include "outlier/detector.h"
+
+namespace nurd::outlier {
+
+/// LSCP hyperparameters.
+struct LscpParams {
+  std::vector<std::size_t> lof_ks = {10, 15, 20, 25};  ///< base LOF pool
+  std::vector<std::size_t> knn_ks = {5, 10};           ///< base KNN pool
+  std::size_t local_region = 30;  ///< neighbours defining the local region
+};
+
+/// Locally selective combination ensemble (average-of-maximum variant over a
+/// LOF + KNN pool).
+class LscpDetector final : public Detector {
+ public:
+  explicit LscpDetector(LscpParams params = {}) : params_(std::move(params)) {}
+  void fit(const Matrix& x) override;
+  const std::vector<double>& scores() const override { return scores_; }
+  std::string name() const override { return "LSCP"; }
+
+ private:
+  LscpParams params_;
+  std::vector<double> scores_;
+};
+
+/// XGBOD hyperparameters.
+struct XgbodParams {
+  ml::GbtParams gbt;       ///< boosted classifier settings
+  std::size_t knn_k = 10;  ///< TOS generators use this neighbourhood size
+};
+
+/// XGBOD: TOS features + boosted logistic classifier. Unlike the
+/// unsupervised detectors this one is semi-supervised — fit takes labels.
+class XgbodDetector final {
+ public:
+  explicit XgbodDetector(XgbodParams params = {});
+
+  /// Fits on features `x` with labels `y` in {0,1} (1 = outlier class).
+  void fit(const Matrix& x, std::span<const double> y);
+
+  /// P(outlier) per fitted row.
+  const std::vector<double>& scores() const { return scores_; }
+
+  std::string name() const { return "XGBOD"; }
+
+ private:
+  XgbodParams params_;
+  std::vector<double> scores_;
+};
+
+}  // namespace nurd::outlier

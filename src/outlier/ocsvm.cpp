@@ -1,0 +1,99 @@
+#include "outlier/ocsvm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/knn.h"
+#include "common/stats.h"
+
+namespace nurd::outlier {
+
+std::vector<double> OcsvmDetector::feature_map(
+    std::span<const double> row) const {
+  if (params_.rff_dim == 0) {
+    return {row.begin(), row.end()};
+  }
+  // φ(x)_k = sqrt(2/D) · cos(√(2γ)·ω_k·x + b_k) approximates the RBF kernel
+  // exp(−γ‖x−y‖²).
+  const std::size_t big_d = params_.rff_dim;
+  std::vector<double> out(big_d);
+  const double scale = std::sqrt(2.0 / static_cast<double>(big_d));
+  const double freq = std::sqrt(2.0 * gamma_eff_);
+  for (std::size_t k = 0; k < big_d; ++k) {
+    out[k] = scale * std::cos(freq * dot(omega_.row(k), row) + phase_[k]);
+  }
+  return out;
+}
+
+void OcsvmDetector::fit(const Matrix& x) {
+  NURD_CHECK(x.rows() >= 2, "OCSVM needs at least two points");
+  NURD_CHECK(params_.nu > 0.0 && params_.nu < 1.0, "nu must be in (0,1)");
+  const Matrix xs = scaler_.fit_transform(x);
+  const std::size_t n = xs.rows();
+  const std::size_t d = xs.cols();
+  Rng rng(params_.seed);
+
+  if (params_.rff_dim > 0) {
+    // Median heuristic for the RBF bandwidth unless the caller fixed gamma:
+    // gamma = 1 / median(‖xi − xj‖²) over a pair sample.
+    if (params_.gamma > 0.0) {
+      gamma_eff_ = params_.gamma;
+    } else {
+      std::vector<double> d2;
+      const std::size_t pairs = std::min<std::size_t>(500, n * (n - 1) / 2);
+      for (std::size_t p = 0; p < pairs; ++p) {
+        const auto i = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+        const auto j = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+        if (i == j) continue;
+        d2.push_back(squared_distance(xs.row(i), xs.row(j)));
+      }
+      const double med = d2.empty() ? 1.0 : median(d2);
+      gamma_eff_ = med > 0.0 ? 1.0 / med : 1.0;
+    }
+    omega_ = Matrix(params_.rff_dim, d);
+    phase_.resize(params_.rff_dim);
+    for (std::size_t k = 0; k < params_.rff_dim; ++k) {
+      for (std::size_t j = 0; j < d; ++j) omega_(k, j) = rng.normal();
+      phase_[k] = rng.uniform(0.0, 2.0 * 3.14159265358979323846);
+    }
+  }
+
+  // Precompute feature maps once.
+  std::vector<std::vector<double>> phi(n);
+  for (std::size_t i = 0; i < n; ++i) phi[i] = feature_map(xs.row(i));
+  const std::size_t p = phi[0].size();
+
+  w_.assign(p, 0.0);
+  rho_ = 0.0;
+  const double inv_nu_n = 1.0 / (params_.nu * static_cast<double>(n));
+
+  std::size_t t = 0;
+  for (int epoch = 0; epoch < params_.epochs; ++epoch) {
+    const auto order = rng.permutation(n);
+    for (std::size_t idx : order) {
+      ++t;
+      const double eta = 1.0 / std::sqrt(static_cast<double>(t));
+      const double margin = dot(w_, phi[idx]);
+      // Subgradient of ½‖w‖² + (1/νn)max(0, ρ−⟨w,φ⟩) − ρ.
+      for (auto& wj : w_) wj *= (1.0 - eta);
+      if (margin < rho_) {
+        for (std::size_t j = 0; j < p; ++j) {
+          w_[j] += eta * inv_nu_n * static_cast<double>(n) * phi[idx][j];
+        }
+        rho_ -= eta * (inv_nu_n * static_cast<double>(n) - 1.0);
+      } else {
+        rho_ += eta;
+      }
+    }
+  }
+
+  scores_.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    scores_[i] = rho_ - dot(w_, phi[i]);
+  }
+}
+
+}  // namespace nurd::outlier

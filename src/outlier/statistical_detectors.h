@@ -1,0 +1,78 @@
+// Detectors built on classical multivariate statistics:
+//   MCD — minimum covariance determinant (Hardin & Rocke 2004): a FastMCD-
+//         style search for the h-subset with smallest covariance
+//         determinant; scores are robust Mahalanobis distances.
+//   PCA — principal-component classifier (Shyu et al. 2003): scores are
+//         variance-weighted squared projections onto the principal axes
+//         (a Mahalanobis distance decomposed in PC space).
+//   CBLOF — cluster-based local outlier factor (He et al. 2003): k-means
+//         clusters split into "large" and "small"; small-cluster points are
+//         scored by distance to the nearest large cluster's centroid.
+#pragma once
+
+#include <cstdint>
+
+#include "common/kmeans.h"
+#include "outlier/detector.h"
+
+namespace nurd::outlier {
+
+/// MCD hyperparameters.
+struct McdParams {
+  double support_fraction = 0.75;  ///< h/n, clamped to [(n+d+1)/2n, 1]
+  int n_initial_subsets = 20;      ///< random (d+1)-subsets tried
+  int c_steps = 10;                ///< concentration steps per subset
+  std::uint64_t seed = 13;
+};
+
+/// Robust Mahalanobis distance via minimum covariance determinant.
+class McdDetector final : public Detector {
+ public:
+  explicit McdDetector(McdParams params = {}) : params_(params) {}
+  void fit(const Matrix& x) override;
+  const std::vector<double>& scores() const override { return scores_; }
+  std::string name() const override { return "MCD"; }
+
+ private:
+  McdParams params_;
+  std::vector<double> scores_;
+};
+
+/// Shyu-style PCA outlier detector.
+class PcaDetector final : public Detector {
+ public:
+  /// `variance_kept` selects the leading components explaining at least this
+  /// fraction of total variance (1.0 = all non-degenerate components).
+  explicit PcaDetector(double variance_kept = 1.0)
+      : variance_kept_(variance_kept) {}
+  void fit(const Matrix& x) override;
+  const std::vector<double>& scores() const override { return scores_; }
+  std::string name() const override { return "PCA"; }
+
+ private:
+  double variance_kept_;
+  std::vector<double> scores_;
+};
+
+/// CBLOF hyperparameters (He et al.'s α/β large-cluster rule).
+struct CblofParams {
+  std::size_t n_clusters = 8;
+  double alpha = 0.9;  ///< large clusters jointly hold ≥ α·n points
+  double beta = 5.0;   ///< or a size ratio ≥ β between consecutive clusters
+  std::uint64_t seed = 17;
+};
+
+/// Cluster-based local outlier factor (unweighted variant, PyOD default).
+class CblofDetector final : public Detector {
+ public:
+  explicit CblofDetector(CblofParams params = {}) : params_(params) {}
+  void fit(const Matrix& x) override;
+  const std::vector<double>& scores() const override { return scores_; }
+  std::string name() const override { return "CBLOF"; }
+
+ private:
+  CblofParams params_;
+  std::vector<double> scores_;
+};
+
+}  // namespace nurd::outlier

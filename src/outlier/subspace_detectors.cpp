@@ -1,0 +1,92 @@
+#include "outlier/subspace_detectors.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/knn.h"
+#include "common/scaler.h"
+
+namespace nurd::outlier {
+
+void SodDetector::fit(const Matrix& x) {
+  NURD_CHECK(x.rows() >= 3, "SOD needs at least three points");
+  StandardScaler scaler;
+  const Matrix xs = scaler.fit_transform(x);
+  const std::size_t n = xs.rows();
+  const std::size_t d = xs.cols();
+  const std::size_t k = std::min(params_.knn, n - 1);
+  const std::size_t l = std::min(params_.ref_set, k);
+  KnnIndex index(xs);
+
+  // kNN lists for shared-nearest-neighbour similarity.
+  std::vector<std::vector<bool>> in_knn(n, std::vector<bool>(n, false));
+  std::vector<std::vector<Neighbor>> nbrs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    nbrs[i] = index.neighbors_of(i, k);
+    for (const auto& nb : nbrs[i]) in_knn[i][nb.index] = true;
+  }
+
+  scores_.assign(n, 0.0);
+  for (std::size_t p = 0; p < n; ++p) {
+    // SNN similarity of p to every other point: |kNN(p) ∩ kNN(q)|.
+    std::vector<std::size_t> snn(n, 0);
+    for (std::size_t q = 0; q < n; ++q) {
+      if (q == p) continue;
+      std::size_t shared = 0;
+      for (const auto& nb : nbrs[p]) {
+        if (in_knn[q][nb.index]) ++shared;
+      }
+      snn[q] = shared;
+    }
+    // Reference set: the l points with highest SNN similarity.
+    std::vector<std::size_t> cand;
+    cand.reserve(n - 1);
+    for (std::size_t q = 0; q < n; ++q) {
+      if (q != p) cand.push_back(q);
+    }
+    std::stable_sort(cand.begin(), cand.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return snn[a] > snn[b];
+                     });
+    cand.resize(l);
+
+    // Per-dimension mean and variance of the reference set.
+    std::vector<double> mu(d, 0.0), var(d, 0.0);
+    for (auto q : cand) {
+      auto row = xs.row(q);
+      for (std::size_t j = 0; j < d; ++j) mu[j] += row[j];
+    }
+    for (auto& m : mu) m /= static_cast<double>(cand.size());
+    double total_var = 0.0;
+    for (auto q : cand) {
+      auto row = xs.row(q);
+      for (std::size_t j = 0; j < d; ++j) {
+        const double diff = row[j] - mu[j];
+        var[j] += diff * diff;
+      }
+    }
+    for (auto& v : var) {
+      v /= static_cast<double>(cand.size());
+      total_var += v;
+    }
+
+    // Relevant subspace: dimensions with variance below α·(mean variance).
+    const double threshold =
+        params_.alpha * total_var / static_cast<double>(d);
+    double dist2 = 0.0;
+    std::size_t dims = 0;
+    auto row_p = xs.row(p);
+    for (std::size_t j = 0; j < d; ++j) {
+      if (var[j] < threshold) {
+        const double diff = row_p[j] - mu[j];
+        dist2 += diff * diff;
+        ++dims;
+      }
+    }
+    scores_[p] = dims == 0 ? 0.0
+                           : std::sqrt(dist2 / static_cast<double>(dims));
+  }
+}
+
+}  // namespace nurd::outlier

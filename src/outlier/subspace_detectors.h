@@ -1,0 +1,32 @@
+// SOD — subspace outlier detection (Kriegel et al. 2009). Each point's
+// outlierness is measured in the axis-parallel subspace its reference set
+// (selected by shared-nearest-neighbour similarity) spans with low variance.
+#pragma once
+
+#include <vector>
+
+#include "outlier/detector.h"
+
+namespace nurd::outlier {
+
+/// SOD hyperparameters.
+struct SodParams {
+  std::size_t knn = 20;       ///< neighbours used for SNN similarity
+  std::size_t ref_set = 10;   ///< reference set size (≤ knn)
+  double alpha = 0.8;         ///< dimension-selection threshold
+};
+
+/// Subspace outlier degree detector.
+class SodDetector final : public Detector {
+ public:
+  explicit SodDetector(SodParams params = {}) : params_(params) {}
+  void fit(const Matrix& x) override;
+  const std::vector<double>& scores() const override { return scores_; }
+  std::string name() const override { return "SOD"; }
+
+ private:
+  SodParams params_;
+  std::vector<double> scores_;
+};
+
+}  // namespace nurd::outlier

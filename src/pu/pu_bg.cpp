@@ -1,0 +1,68 @@
+#include "pu/pu_bg.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace nurd::pu {
+
+PuBaggingSvm::PuBaggingSvm(PuBgParams params) : params_(params) {
+  NURD_CHECK(params_.n_rounds > 0, "need at least one bagging round");
+}
+
+void PuBaggingSvm::fit(const Matrix& labeled, const Matrix& unlabeled) {
+  NURD_CHECK(labeled.rows() > 0, "PU-BG needs labeled examples");
+  NURD_CHECK(unlabeled.rows() > 0, "PU-BG needs unlabeled examples");
+  NURD_CHECK(labeled.cols() == unlabeled.cols(), "feature width mismatch");
+
+  const std::size_t n_u = unlabeled.rows();
+  const std::size_t sample =
+      params_.sample_size > 0
+          ? std::min(params_.sample_size, n_u)
+          : std::min(labeled.rows(), n_u);
+
+  Rng rng(params_.seed);
+  std::vector<double> score_sum(n_u, 0.0);
+  std::vector<int> score_cnt(n_u, 0);
+
+  for (int round = 0; round < params_.n_rounds; ++round) {
+    const auto boot = rng.sample_with_replacement(n_u, sample);
+    std::vector<bool> in_bag(n_u, false);
+    for (auto i : boot) in_bag[i] = true;
+
+    // Train labeled(0) vs bootstrap-unlabeled(1).
+    Matrix x(0, 0);
+    std::vector<double> y;
+    for (std::size_t i = 0; i < labeled.rows(); ++i) {
+      x.push_row(labeled.row(i));
+      y.push_back(0.0);
+    }
+    for (auto i : boot) {
+      x.push_row(unlabeled.row(i));
+      y.push_back(1.0);
+    }
+    auto svm_params = params_.svm;
+    svm_params.seed = params_.svm.seed + static_cast<std::uint64_t>(round);
+    ml::LinearSVM svm(svm_params);
+    svm.fit(x, y);
+
+    // Out-of-bag scoring: only rows not used as pseudo-negatives this round.
+    for (std::size_t i = 0; i < n_u; ++i) {
+      if (in_bag[i]) continue;
+      score_sum[i] += svm.decision(unlabeled.row(i));
+      ++score_cnt[i];
+    }
+  }
+
+  scores_.assign(n_u, 0.0);
+  for (std::size_t i = 0; i < n_u; ++i) {
+    // Rows that were in-bag every round (rare) fall back to score 0.
+    scores_[i] = score_cnt[i] > 0
+                     ? score_sum[i] / static_cast<double>(score_cnt[i])
+                     : 0.0;
+  }
+  fitted_ = true;
+}
+
+}  // namespace nurd::pu

@@ -1,0 +1,47 @@
+// PU learning by bagging (Mordelet & Vert 2014), adapted to the
+// negative-unlabeled straggler setting. Each bagging round treats a
+// bootstrap of the unlabeled (running) tasks as if it were the opposite
+// class of the labeled (finished) tasks, trains a linear SVM, and records
+// out-of-bag decision values; the aggregate score estimates how strongly a
+// point separates from the labeled class — i.e., its straggler propensity.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/matrix.h"
+#include "ml/linear_svm.h"
+
+namespace nurd::pu {
+
+/// Bagging-PU hyperparameters.
+struct PuBgParams {
+  int n_rounds = 15;         ///< bagging rounds
+  std::size_t sample_size = 0;  ///< per-round unlabeled bootstrap; 0 = |labeled|
+  ml::SvmParams svm;
+  std::uint64_t seed = 31;
+};
+
+/// Bagging SVM for PU data.
+class PuBaggingSvm {
+ public:
+  explicit PuBaggingSvm(PuBgParams params = {});
+
+  /// Fits on the labeled class and unlabeled mixture; afterwards
+  /// `unlabeled_scores()` holds the aggregated anti-labeled score per
+  /// unlabeled row (higher ⇒ less like the labeled class ⇒ straggler).
+  void fit(const Matrix& labeled, const Matrix& unlabeled);
+
+  /// Aggregated scores aligned with the rows of `unlabeled` passed to fit().
+  const std::vector<double>& unlabeled_scores() const { return scores_; }
+
+  bool fitted() const { return fitted_; }
+
+ private:
+  PuBgParams params_;
+  std::vector<double> scores_;
+  bool fitted_ = false;
+};
+
+}  // namespace nurd::pu

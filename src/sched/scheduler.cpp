@@ -1,0 +1,142 @@
+#include "sched/scheduler.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/check.h"
+
+namespace nurd::sched {
+
+namespace {
+
+// A relaunched copy's execution time: one draw from the job's empirical
+// latency distribution.
+double resample_latency(const trace::Job& job, Rng& rng) {
+  const auto n = static_cast<std::int64_t>(job.task_count());
+  const auto idx = static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+  return job.latencies[idx];
+}
+
+}  // namespace
+
+ScheduleResult schedule_unlimited(const trace::Job& job,
+                                  std::span<const std::size_t> flagged_at,
+                                  Rng& rng) {
+  NURD_CHECK(flagged_at.size() == job.task_count(),
+             "flag vector length mismatch");
+  ScheduleResult result;
+  result.original_jct = job.completion_time();
+
+  double jct = 0.0;
+  for (std::size_t i = 0; i < job.task_count(); ++i) {
+    double completion = job.latencies[i];
+    if (flagged_at[i] != eval::kNeverFlagged) {
+      const double t_flag = job.checkpoints[flagged_at[i]].tau_run;
+      // The harness only flags running tasks, so t_flag < latency holds; the
+      // relaunched copy starts immediately on a fresh machine.
+      completion = t_flag + resample_latency(job, rng);
+      ++result.relaunched;
+    }
+    jct = std::max(jct, completion);
+  }
+  result.mitigated_jct = jct;
+  return result;
+}
+
+ScheduleResult schedule_limited(const trace::Job& job,
+                                std::span<const std::size_t> flagged_at,
+                                std::size_t machines, Rng& rng) {
+  NURD_CHECK(flagged_at.size() == job.task_count(),
+             "flag vector length mismatch");
+  ScheduleResult result;
+  result.original_jct = job.completion_time();
+
+  const std::size_t n = job.task_count();
+  const std::size_t T = job.checkpoints.size();
+
+  // completion[i] starts at the uninterfered latency and is overwritten when
+  // the task is actually relaunched.
+  std::vector<double> completion(job.latencies.begin(), job.latencies.end());
+  std::vector<bool> relaunched(n, false);
+
+  std::size_t pool = machines;
+  std::deque<std::size_t> waiting;  // FIFO queue of flagged, unlaunched tasks
+  double prev_tau = 0.0;
+
+  for (std::size_t t = 0; t < T; ++t) {
+    const double tau = job.checkpoints[t].tau_run;
+
+    // Machines released by tasks that finished in (prev_tau, tau]. Tasks that
+    // were relaunched release the pool machine they took when their copy
+    // finishes; unflagged and still-waiting tasks release their original
+    // machine at their natural completion.
+    for (std::size_t i = 0; i < n; ++i) {
+      const double done = completion[i];
+      if (done > prev_tau && done <= tau) ++pool;
+    }
+
+    // Tasks flagged at this checkpoint join the queue (drop any that
+    // happened to finish while the prediction was made).
+    for (std::size_t i = 0; i < n; ++i) {
+      if (flagged_at[i] == t && job.latencies[i] > tau) waiting.push_back(i);
+    }
+
+    // Drop waiting tasks that finished on their own before this checkpoint.
+    std::deque<std::size_t> still_waiting;
+    for (auto i : waiting) {
+      if (job.latencies[i] <= tau) continue;  // finished while queued
+      still_waiting.push_back(i);
+    }
+    waiting.swap(still_waiting);
+
+    // Relaunch in FIFO order while machines remain.
+    while (!waiting.empty() && pool > 0) {
+      const std::size_t i = waiting.front();
+      waiting.pop_front();
+      --pool;
+      completion[i] = tau + resample_latency(job, rng);
+      relaunched[i] = true;
+      ++result.relaunched;
+      if (flagged_at[i] != eval::kNeverFlagged &&
+          job.checkpoints[flagged_at[i]].tau_run < tau) {
+        ++result.waited;
+      }
+    }
+    prev_tau = tau;
+  }
+
+  double jct = 0.0;
+  for (std::size_t i = 0; i < n; ++i) jct = std::max(jct, completion[i]);
+  result.mitigated_jct = jct;
+  return result;
+}
+
+double mean_reduction_unlimited(std::span<const trace::Job> jobs,
+                                std::span<const eval::JobRunResult> runs,
+                                std::uint64_t seed) {
+  NURD_CHECK(jobs.size() == runs.size(), "jobs/runs length mismatch");
+  NURD_CHECK(!jobs.empty(), "no jobs");
+  Rng rng(seed);
+  double total = 0.0;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    total +=
+        schedule_unlimited(jobs[j], runs[j].flagged_at, rng).reduction_pct();
+  }
+  return total / static_cast<double>(jobs.size());
+}
+
+double mean_reduction_limited(std::span<const trace::Job> jobs,
+                              std::span<const eval::JobRunResult> runs,
+                              std::size_t machines, std::uint64_t seed) {
+  NURD_CHECK(jobs.size() == runs.size(), "jobs/runs length mismatch");
+  NURD_CHECK(!jobs.empty(), "no jobs");
+  Rng rng(seed);
+  double total = 0.0;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    total += schedule_limited(jobs[j], runs[j].flagged_at, machines, rng)
+                 .reduction_pct();
+  }
+  return total / static_cast<double>(jobs.size());
+}
+
+}  // namespace nurd::sched

@@ -1,0 +1,68 @@
+// Straggler-mitigation schedulers (paper §5) and the job-completion-time
+// simulation behind Figures 4–9.
+//
+// Both schedulers terminate a predicted straggler and relaunch it on a new
+// machine; the relaunched copy's execution time is resampled from the job's
+// empirical task latencies (§7.3: "the new completion time for a rescheduled
+// task is randomly sampled from the existing execution times").
+//
+//  * Algorithm 2 (more machines than tasks): a flagged task relaunches
+//    immediately at the flagging checkpoint's time.
+//  * Algorithm 3 (fewer machines than tasks): relaunches draw from a finite
+//    machine pool that starts with `machines` spares and grows as tasks
+//    finish and release their machines. Flagged tasks that cannot get a
+//    machine wait in FIFO order and keep running in the meantime; a
+//    terminated task's own machine is not reused (it is the suspected
+//    slow/faulty one — the premise of relaunch-based mitigation).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "eval/harness.h"
+#include "trace/job.h"
+
+namespace nurd::sched {
+
+/// Outcome of simulating one job under a scheduler.
+struct ScheduleResult {
+  double original_jct = 0.0;   ///< completion time without intervention
+  double mitigated_jct = 0.0;  ///< completion time with relaunches
+  std::size_t relaunched = 0;  ///< tasks actually relaunched
+  std::size_t waited = 0;      ///< flagged tasks that had to wait ≥1 checkpoint
+
+  /// Reduction in job completion time, percent (positive = improvement).
+  double reduction_pct() const {
+    return original_jct > 0.0
+               ? 100.0 * (original_jct - mitigated_jct) / original_jct
+               : 0.0;
+  }
+};
+
+/// Algorithm 2: unlimited machines; flagged tasks relaunch immediately.
+/// `flagged_at` maps each task to the checkpoint where the predictor flagged
+/// it (eval::kNeverFlagged = never); `rng` drives the latency resampling.
+ScheduleResult schedule_unlimited(const trace::Job& job,
+                                  std::span<const std::size_t> flagged_at,
+                                  Rng& rng);
+
+/// Algorithm 3: a finite machine pool of `machines` spares (plus machines
+/// released by finishing tasks).
+ScheduleResult schedule_limited(const trace::Job& job,
+                                std::span<const std::size_t> flagged_at,
+                                std::size_t machines, Rng& rng);
+
+/// Mean JCT reduction of a method over a job set under Algorithm 2.
+double mean_reduction_unlimited(std::span<const trace::Job> jobs,
+                                std::span<const eval::JobRunResult> runs,
+                                std::uint64_t seed);
+
+/// Mean JCT reduction over a job set under Algorithm 3 with `machines`
+/// spare machines per job.
+double mean_reduction_limited(std::span<const trace::Job> jobs,
+                              std::span<const eval::JobRunResult> runs,
+                              std::size_t machines, std::uint64_t seed);
+
+}  // namespace nurd::sched

@@ -1,0 +1,134 @@
+#include "trace/csv.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace nurd::trace {
+
+namespace {
+
+std::vector<std::string> split_commas(const std::string& line) {
+  std::vector<std::string> out;
+  std::stringstream ss(line);
+  std::string cell;
+  while (std::getline(ss, cell, ',')) out.push_back(cell);
+  return out;
+}
+
+}  // namespace
+
+void write_csv(std::ostream& out, const Job& job,
+               const FeatureSchema& schema) {
+  NURD_CHECK(schema.size() == job.feature_count,
+             "schema width does not match the job's feature count");
+  out << "task,latency,checkpoint,tau_run";
+  for (const auto& name : schema.names) out << "," << name;
+  out << "\n";
+  out.precision(10);
+  for (std::size_t t = 0; t < job.checkpoints.size(); ++t) {
+    const auto& cp = job.checkpoints[t];
+    for (std::size_t i = 0; i < job.task_count(); ++i) {
+      out << i << "," << job.latencies[i] << "," << t << "," << cp.tau_run;
+      for (double v : cp.features.row(i)) out << "," << v;
+      out << "\n";
+    }
+  }
+}
+
+void save_csv(const std::string& path, const Job& job,
+              const FeatureSchema& schema) {
+  std::ofstream f(path);
+  NURD_CHECK(f.good(), "cannot open for writing: " + path);
+  write_csv(f, job, schema);
+  NURD_CHECK(f.good(), "write failed: " + path);
+}
+
+Job read_csv(std::istream& in, std::string id) {
+  std::string line;
+  NURD_CHECK(static_cast<bool>(std::getline(in, line)), "empty CSV");
+  const auto header = split_commas(line);
+  NURD_CHECK(header.size() > 4 && header[0] == "task" &&
+                 header[1] == "latency" && header[2] == "checkpoint" &&
+                 header[3] == "tau_run",
+             "unrecognized CSV header");
+  const std::size_t d = header.size() - 4;
+
+  // (checkpoint -> (task -> feature row)), latencies and horizons collected
+  // on the way.
+  std::map<std::size_t, std::map<std::size_t, std::vector<double>>> rows;
+  std::map<std::size_t, double> tau_of;
+  std::map<std::size_t, double> latency_of;
+
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto cells = split_commas(line);
+    NURD_CHECK(cells.size() == header.size(),
+               "row " + std::to_string(line_no) + " has wrong cell count");
+    const auto task = static_cast<std::size_t>(std::stoull(cells[0]));
+    const double latency = std::stod(cells[1]);
+    const auto cp = static_cast<std::size_t>(std::stoull(cells[2]));
+    const double tau = std::stod(cells[3]);
+    NURD_CHECK(latency > 0.0, "non-positive latency at row " +
+                                  std::to_string(line_no));
+    auto [it, inserted] = latency_of.try_emplace(task, latency);
+    NURD_CHECK(inserted || it->second == latency,
+               "conflicting latency for task " + std::to_string(task));
+    auto [tit, tins] = tau_of.try_emplace(cp, tau);
+    NURD_CHECK(tins || tit->second == tau,
+               "conflicting tau_run for checkpoint " + std::to_string(cp));
+    std::vector<double> feats(d);
+    for (std::size_t f = 0; f < d; ++f) feats[f] = std::stod(cells[4 + f]);
+    const bool fresh = rows[cp].try_emplace(task, std::move(feats)).second;
+    NURD_CHECK(fresh, "duplicate (task, checkpoint) row at line " +
+                          std::to_string(line_no));
+  }
+  NURD_CHECK(!rows.empty(), "CSV has no data rows");
+
+  const std::size_t n = latency_of.size();
+  // Tasks must be exactly 0..n-1 and present at every checkpoint.
+  for (std::size_t i = 0; i < n; ++i) {
+    NURD_CHECK(latency_of.contains(i),
+               "task ids must be contiguous from 0; missing " +
+                   std::to_string(i));
+  }
+
+  Job job;
+  job.id = std::move(id);
+  job.feature_count = d;
+  job.latencies.resize(n);
+  for (const auto& [task, lat] : latency_of) job.latencies[task] = lat;
+
+  double prev_tau = 0.0;
+  for (const auto& [cp_idx, tasks] : rows) {
+    NURD_CHECK(cp_idx == job.checkpoints.size(),
+               "checkpoint ids must be contiguous from 0");
+    NURD_CHECK(tasks.size() == n, "checkpoint " + std::to_string(cp_idx) +
+                                      " is missing tasks");
+    Checkpoint cp;
+    cp.tau_run = tau_of.at(cp_idx);
+    NURD_CHECK(cp.tau_run > prev_tau, "tau_run must be strictly ascending");
+    prev_tau = cp.tau_run;
+    cp.features = Matrix(n, d);
+    for (const auto& [task, feats] : tasks) {
+      std::copy(feats.begin(), feats.end(), cp.features.row(task).begin());
+      (job.latencies[task] <= cp.tau_run ? cp.finished : cp.running)
+          .push_back(task);
+    }
+    job.checkpoints.push_back(std::move(cp));
+  }
+  return job;
+}
+
+Job load_csv(const std::string& path, std::string id) {
+  std::ifstream f(path);
+  NURD_CHECK(f.good(), "cannot open for reading: " + path);
+  return read_csv(f, std::move(id));
+}
+
+}  // namespace nurd::trace

@@ -1,0 +1,38 @@
+// CSV import/export for job traces — the bridge for users with real parsed
+// traces (the paper's own workflow parses the Google/Alibaba dumps into a
+// time-series format; this is that format's on-disk representation).
+//
+// Layout (one file per job):
+//   line 1:  header  "task,latency,checkpoint,tau_run,<feature names...>"
+//   rest:    one row per (task, checkpoint) pair with the feature snapshot
+//
+// Latencies repeat on every row of their task (simple and greppable). The
+// reader validates structural invariants (consistent feature width, every
+// task present at every checkpoint, ascending tau_run) and rebuilds the
+// finished/running partitions from latency vs tau_run.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/job.h"
+
+namespace nurd::trace {
+
+/// Writes `job` as CSV to `out`. Feature names come from `schema` (must
+/// match the job's feature count).
+void write_csv(std::ostream& out, const Job& job,
+               const FeatureSchema& schema);
+
+/// Convenience: writes to a file path (throws on I/O failure).
+void save_csv(const std::string& path, const Job& job,
+              const FeatureSchema& schema);
+
+/// Parses a job from CSV (the write_csv format). The job id is taken from
+/// `id`. Throws std::invalid_argument on malformed input.
+Job read_csv(std::istream& in, std::string id = "csv-job");
+
+/// Convenience: reads from a file path (throws on I/O failure).
+Job load_csv(const std::string& path, std::string id = "csv-job");
+
+}  // namespace nurd::trace

@@ -1,0 +1,239 @@
+#include "trace/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace nurd::trace {
+
+TraceGenerator::TraceGenerator(FeatureSchema schema, GeneratorConfig config)
+    : schema_(std::move(schema)), config_(config), rng_(config.seed) {
+  NURD_CHECK(schema_.size() > 0, "schema must have features");
+  NURD_CHECK(config_.min_tasks >= 10, "jobs need at least 10 tasks");
+  NURD_CHECK(config_.min_tasks <= config_.max_tasks, "bad task range");
+  NURD_CHECK(config_.checkpoints >= 2, "need at least two checkpoints");
+}
+
+std::vector<Job> TraceGenerator::generate(std::size_t count) {
+  std::vector<Job> jobs;
+  jobs.reserve(count);
+  for (std::size_t j = 0; j < count; ++j) {
+    bool far = false;
+    switch (config_.regime) {
+      case TailRegime::kFar:
+        far = true;
+        break;
+      case TailRegime::kNear:
+        far = false;
+        break;
+      case TailRegime::kMixed:
+        far = rng_.bernoulli(config_.far_fraction);
+        break;
+    }
+    jobs.push_back(generate_job(j, far));
+  }
+  return jobs;
+}
+
+Job TraceGenerator::generate_job(std::size_t index, bool far_tail) {
+  Rng rng = rng_.fork();
+  const std::size_t n = static_cast<std::size_t>(rng.uniform_int(
+      static_cast<std::int64_t>(config_.min_tasks),
+      static_cast<std::int64_t>(config_.max_tasks)));
+  const std::size_t d = schema_.size();
+
+  Job job;
+  job.id = std::string(far_tail ? "far" : "near") + "-job-" +
+           std::to_string(index);
+  job.feature_count = d;
+
+  // --- Latency model -----------------------------------------------------
+  // Base: a WIDE lognormal body (Figure 1: most mass at low normalized
+  // latency, smoothly spread) truncated just above the p90 scale, so body
+  // tasks never masquerade as extreme stragglers. Tail tasks multiply the
+  // p90-scale latency by a regime-dependent factor: far-tail jobs use a
+  // Pareto draw (stragglers several times slower than the threshold, p90
+  // ends up below half the max), near-tail jobs a mild uniform bump
+  // (stragglers just past the threshold, p90 above half the max).
+  const double med = std::exp(rng.uniform(std::log(50.0), std::log(500.0)));
+  const double sigma_job = rng.uniform(0.7, 1.1);
+  const double l90 = med * std::exp(1.2816 * sigma_job);
+
+  job.latencies.resize(n);
+  std::vector<bool> tail_task(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double z = std::min(rng.normal(), 1.45);
+    double y = med * std::exp(sigma_job * z);
+    if (rng.bernoulli(config_.straggler_rate)) {
+      tail_task[i] = true;
+      if (far_tail) {
+        const double mult = 1.0 + std::min(rng.pareto(1.5, 1.2), 25.0);
+        y = l90 * mult;
+      } else {
+        y = l90 * (1.0 + rng.uniform(0.05, 0.55));
+      }
+    }
+    job.latencies[i] = y;
+  }
+
+  // --- Feature model ------------------------------------------------------
+  // Loadings are job specific (datacenter jobs are unique — Reiss et al.
+  // 2012), with a persistent per-task component and fresh per-checkpoint
+  // noise. The feature response has three parts:
+  //  * a BODY component, linear in log-slowness but saturating at the p90
+  //    scale — it makes latency predictable within the body, yet renders
+  //    stragglers linearly indistinguishable from merely-slow tasks;
+  //  * a CAUSE signature: each straggler expresses one of `straggler_causes`
+  //    sparse nonnegative subspace directions, scaled by its severity beyond
+  //    the p90 scale and building up with elapsed time (resource anomalies
+  //    grow as the task struggles). Heterogeneous causes defeat linear
+  //    classifiers (the paper's critique of Wrangler) while nonlinear models
+  //    and the propensity score still pick them up. Because cause directions
+  //    are nonnegative, far-tail stragglers (large severity) drag the
+  //    running-tasks centroid away from the finished centroid, which is what
+  //    makes ρ ≤ 1 signal a far tail (§4.2).
+  //  * an ANOMALY offset on a latency-independent random subset of tasks:
+  //    stragglers are outliers in latency, not necessarily in feature space
+  //    (§3.2), so feature-space outlier detectors must face feature outliers
+  //    that are NOT stragglers.
+  const double z90 = 1.2816 * sigma_job;
+  std::vector<double> z_body(n), severity(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double z = std::log(job.latencies[i] / med);
+    z_body[i] = std::min(z, z90);
+    // Blend of √excess (keeps mild stragglers visible) and linear excess
+    // (keeps extreme far-tail stragglers dragging the running centroid, so
+    // ρ separates the regimes).
+    const double excess = std::max(z - z90, 0.0);
+    severity[i] =
+        0.5 * (std::sqrt(excess) + excess) * config_.tail_feature_boost;
+  }
+
+  // Feature means sit near the unit range (real trace features are usage
+  // fractions and normalized counters), so the centroid norm ‖c_fin‖ is
+  // comparable to the finished/running separation and ρ straddles 1.
+  std::vector<double> mu(d), loading(d);
+  for (std::size_t f = 0; f < d; ++f) {
+    mu[f] = rng.uniform(0.6, 1.3);
+    const double sign = rng.bernoulli(0.8) ? 1.0 : -1.0;
+    loading[f] = sign * std::abs(rng.normal(0.4, 0.15)) *
+                 config_.feature_signal;
+  }
+
+  // Sparse nonnegative cause directions (≈ d/3 features each, ≥ 2):
+  // resource anomalies are elevations, and their common orientation is what
+  // drags the running centroid and gives ρ its regime signal.
+  const std::size_t n_causes =
+      std::max<std::size_t>(config_.straggler_causes, 1);
+  Matrix cause_dir(n_causes, d, 0.0);
+  for (std::size_t c = 0; c < n_causes; ++c) {
+    const auto active = rng.sample_without_replacement(
+        d, std::max<std::size_t>(2, d / 3));
+    for (auto f : active) {
+      cause_dir(c, f) =
+          std::abs(rng.normal(1.2, 0.35)) * config_.feature_signal;
+    }
+  }
+  std::vector<std::size_t> cause_of(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    cause_of[i] = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n_causes) - 1));
+  }
+
+  // Latency-independent feature anomalies ("noisy machines").
+  Matrix anomaly(n, d, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!rng.bernoulli(config_.anomaly_rate)) continue;
+    const auto active = rng.sample_without_replacement(
+        d, std::max<std::size_t>(2, d / 2));
+    for (auto f : active) {
+      anomaly(i, f) = rng.normal(
+          0.0, config_.anomaly_strength * config_.feature_noise);
+    }
+  }
+
+  Matrix persistent(n, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t f = 0; f < d; ++f) {
+      persistent(i, f) = rng.normal(0.0, 0.6 * config_.feature_noise);
+    }
+  }
+
+  // --- Checkpoint grid ----------------------------------------------------
+  // Prediction starts once initial_finished_frac of tasks completed (§6).
+  // The grid is GEOMETRIC between that point and just below the completion
+  // time: heavy-tailed jobs run for many multiples of the typical task
+  // latency, and a linear grid would place every checkpoint after the entire
+  // body had finished, skipping exactly the early window where online
+  // prediction is hard and valuable. Log spacing mirrors the effective
+  // information growth of a periodically-sampled trace.
+  const double t_start =
+      percentile(job.latencies, 100.0 * config_.initial_finished_frac);
+  const double t_end = 0.985 * max_value(job.latencies);
+  const double t_total = max_value(job.latencies);
+  const double ratio = std::max(t_end / std::max(t_start, 1e-9), 1.0001);
+  const std::size_t T = config_.checkpoints;
+
+  job.checkpoints.resize(T);
+  for (std::size_t k = 0; k < T; ++k) {
+    Checkpoint& cp = job.checkpoints[k];
+    cp.tau_run = t_start * std::pow(ratio, static_cast<double>(k + 1) /
+                                               static_cast<double>(T));
+    cp.features = Matrix(n, d);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Metrics freeze when a task completes.
+      const double t_eff = std::min(cp.tau_run, job.latencies[i]);
+      const double progress = t_eff / t_total;
+      // Cause signatures build up over the task's lifetime: partially
+      // visible from the start, growing toward full strength
+      // (drift_strength is the ramped share).
+      const double ramp =
+          (1.0 - config_.drift_strength) + config_.drift_strength * progress;
+      const double sig = severity[i] * ramp;
+      const auto cause = cause_dir.row(cause_of[i]);
+      for (std::size_t f = 0; f < d; ++f) {
+        const double fresh = rng.normal(0.0, 0.4 * config_.feature_noise);
+        cp.features(i, f) = mu[f] + loading[f] * z_body[i] +
+                            cause[f] * sig + anomaly(i, f) +
+                            persistent(i, f) + fresh;
+      }
+      if (job.latencies[i] <= cp.tau_run) {
+        cp.finished.push_back(i);
+      } else {
+        cp.running.push_back(i);
+      }
+    }
+  }
+  return job;
+}
+
+GeneratorConfig GoogleLikeGenerator::google_defaults() {
+  GeneratorConfig c;
+  c.feature_signal = 0.6;
+  c.feature_noise = 1.0;
+  c.drift_strength = 0.5;
+  c.far_fraction = 0.85;  // extreme tails dominate production jobs
+  c.seed = 20110501;  // Google trace release month
+  return c;
+}
+
+GoogleLikeGenerator::GoogleLikeGenerator(GeneratorConfig config)
+    : TraceGenerator(google_schema(), config) {}
+
+GeneratorConfig AlibabaLikeGenerator::alibaba_defaults() {
+  GeneratorConfig c;
+  c.feature_signal = 0.55;
+  c.feature_noise = 1.0;
+  c.drift_strength = 0.35;
+  c.far_fraction = 0.75;
+  c.seed = 20170801;  // Alibaba trace release month
+  return c;
+}
+
+AlibabaLikeGenerator::AlibabaLikeGenerator(GeneratorConfig config)
+    : TraceGenerator(alibaba_schema(), config) {}
+
+}  // namespace nurd::trace

@@ -1,0 +1,99 @@
+// Synthetic trace generators standing in for the Google 2011 and Alibaba
+// 2017/2018 production traces (see DESIGN.md §1 for the substitution
+// argument). The generators control the structural properties NURD's claims
+// rest on:
+//
+//  * heavy-tailed latency with ~10% stragglers at the p90 threshold;
+//  * two job regimes mirroring Figure 1 — "far tail" jobs whose p90 falls
+//    below half the maximum latency (ρ ≤ 1 calibration branch) and
+//    "near tail" jobs whose p90 exceeds it (ρ > 1 branch);
+//  * task features correlated with (log) latency through job-specific
+//    loadings, plus per-checkpoint drift for slow tasks, so running tasks'
+//    feature distribution diverges from finished tasks' — the NU bias;
+//  * dataset contrast: Google-like jobs expose 15 informative features,
+//    Alibaba-like jobs only 4 noisier ones, reproducing the paper's weaker
+//    absolute scores and narrower margins on Alibaba.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "trace/job.h"
+
+namespace nurd::trace {
+
+/// Which latency-tail regime a job is drawn from (Figure 1's two shapes).
+enum class TailRegime {
+  kFar,   ///< stragglers much slower than p90; threshold < max/2
+  kNear,  ///< stragglers only slightly slower; threshold > max/2
+  kMixed  ///< regime drawn per job with probability far_fraction
+};
+
+/// Generator knobs shared by both datasets.
+struct GeneratorConfig {
+  std::size_t min_tasks = 100;
+  std::size_t max_tasks = 400;
+  std::size_t checkpoints = 10;       ///< prediction checkpoints T
+  double initial_finished_frac = 0.04;  ///< §6: 4% finished before prediction
+  TailRegime regime = TailRegime::kMixed;
+  double far_fraction = 0.5;          ///< P(far regime) under kMixed
+  double straggler_rate = 0.12;       ///< fraction of tasks given a tail draw
+  double feature_signal = 1.0;        ///< loading scale (informativeness)
+  double feature_noise = 0.6;         ///< iid feature noise stddev
+  double drift_strength = 0.5;        ///< slow-task feature drift over time
+  double tail_feature_boost = 3.0;    ///< straggler-cause signature strength
+                                      ///< beyond the p90 scale (resource
+                                      ///< anomalies are super-linear in
+                                      ///< straggling severity)
+  std::size_t straggler_causes = 3;   ///< distinct cause signatures per job
+                                      ///< (heterogeneous causes — Zheng & Lee
+                                      ///< 2018); each straggler expresses one
+  double anomaly_rate = 0.08;         ///< latency-INDEPENDENT feature-outlier
+                                      ///< tasks (noisy machines): stragglers
+                                      ///< are outliers in latency, not
+                                      ///< necessarily in feature space (§3.2)
+  double anomaly_strength = 2.0;      ///< anomaly offset in noise units
+  std::uint64_t seed = 1234;
+};
+
+/// Base generator: everything but the feature schema and dataset-specific
+/// defaults. Instantiate via GoogleLikeGenerator / AlibabaLikeGenerator.
+class TraceGenerator {
+ public:
+  TraceGenerator(FeatureSchema schema, GeneratorConfig config);
+  virtual ~TraceGenerator() = default;
+
+  /// Generates `count` independent jobs. Deterministic in config.seed.
+  std::vector<Job> generate(std::size_t count);
+
+  /// Generates a single job with an explicit regime (used by the Figure-1
+  /// bench and the calibration tests).
+  Job generate_job(std::size_t index, bool far_tail);
+
+  const GeneratorConfig& config() const { return config_; }
+  const FeatureSchema& schema() const { return schema_; }
+
+ private:
+  FeatureSchema schema_;
+  GeneratorConfig config_;
+  Rng rng_;
+};
+
+/// 15-feature generator mirroring the Google trace (Table 1): informative
+/// resource/microarchitecture/scheduling features.
+class GoogleLikeGenerator : public TraceGenerator {
+ public:
+  explicit GoogleLikeGenerator(GeneratorConfig config = google_defaults());
+  static GeneratorConfig google_defaults();
+};
+
+/// 4-feature generator mirroring the Alibaba trace (Table 2): fewer, noisier
+/// features and milder tails.
+class AlibabaLikeGenerator : public TraceGenerator {
+ public:
+  explicit AlibabaLikeGenerator(GeneratorConfig config = alibaba_defaults());
+  static GeneratorConfig alibaba_defaults();
+};
+
+}  // namespace nurd::trace

@@ -1,0 +1,67 @@
+#include "trace/job.h"
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace nurd::trace {
+
+double Job::straggler_threshold(double pct) const {
+  NURD_CHECK(!latencies.empty(), "job has no tasks");
+  return percentile(latencies, pct);
+}
+
+std::vector<int> Job::straggler_labels(double pct) const {
+  const double thr = straggler_threshold(pct);
+  std::vector<int> labels(latencies.size(), 0);
+  for (std::size_t i = 0; i < latencies.size(); ++i) {
+    labels[i] = latencies[i] >= thr ? 1 : 0;
+  }
+  return labels;
+}
+
+double Job::completion_time() const {
+  NURD_CHECK(!latencies.empty(), "job has no tasks");
+  return max_value(latencies);
+}
+
+std::vector<double> Job::normalized_latencies() const {
+  const double m = completion_time();
+  std::vector<double> out(latencies.size());
+  for (std::size_t i = 0; i < latencies.size(); ++i) {
+    out[i] = m > 0.0 ? latencies[i] / m : 0.0;
+  }
+  return out;
+}
+
+const FeatureSchema& google_schema() {
+  static const FeatureSchema schema{{
+      "MCU",     // mean CPU usage
+      "MAXCPU",  // maximum CPU usage
+      "SCPU",    // sampled CPU usage
+      "CMU",     // canonical memory usage
+      "AMU",     // assigned memory usage
+      "MAXMU",   // maximum memory usage
+      "UPC",     // unmapped page cache memory usage
+      "TPC",     // total page cache memory usage
+      "MIO",     // mean disk I/O time
+      "MAXIO",   // maximum disk I/O time
+      "MDK",     // mean local disk space used
+      "CPI",     // cycles per instruction
+      "MAI",     // memory accesses per instruction
+      "EV",      // times task evicted
+      "FL",      // times task failed
+  }};
+  return schema;
+}
+
+const FeatureSchema& alibaba_schema() {
+  static const FeatureSchema schema{{
+      "cpu_avg",
+      "cpu_max",
+      "mem_avg",
+      "mem_max",
+  }};
+  return schema;
+}
+
+}  // namespace nurd::trace

@@ -1,0 +1,60 @@
+// The trace data model: a Job is a set of tasks with true latencies and a
+// grid of time checkpoints, each checkpoint carrying the feature snapshot
+// and finished/running partition the online predictor would observe at that
+// moment (paper §2 "Problem formulation" and §6 "Evaluation methodology").
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace nurd::trace {
+
+/// One observation instant during job execution. At horizon tau_run, tasks
+/// with latency ≤ tau_run are finished (latency revealed); the rest are
+/// running (latency known only to exceed tau_run).
+struct Checkpoint {
+  double tau_run = 0.0;                 ///< observation horizon τrun_t
+  std::vector<std::size_t> finished;    ///< task ids with y ≤ τrun_t
+  std::vector<std::size_t> running;     ///< task ids still executing
+  Matrix features;                      ///< n × d feature snapshot x_ti
+};
+
+/// A complete job trace, fully materialized for deterministic replay.
+struct Job {
+  std::string id;
+  std::vector<double> latencies;        ///< true latency per task
+  std::vector<Checkpoint> checkpoints;  ///< ascending τrun grid
+  std::size_t feature_count = 0;
+
+  std::size_t task_count() const { return latencies.size(); }
+
+  /// Straggler threshold τstra at the given latency percentile (default p90,
+  /// the paper's definition).
+  double straggler_threshold(double pct = 90.0) const;
+
+  /// True straggler labels at percentile `pct`: 1 = straggler.
+  std::vector<int> straggler_labels(double pct = 90.0) const;
+
+  /// Job completion time without intervention (max latency).
+  double completion_time() const;
+
+  /// Latencies scaled into [0,1] by the maximum (Figure 1's x-axis).
+  std::vector<double> normalized_latencies() const;
+};
+
+/// Feature schema of a dataset (names mirror the paper's Tables 1 and 2).
+struct FeatureSchema {
+  std::vector<std::string> names;
+  std::size_t size() const { return names.size(); }
+};
+
+/// The 15 Google trace features (Table 1).
+const FeatureSchema& google_schema();
+
+/// The 4 Alibaba trace features (Table 2).
+const FeatureSchema& alibaba_schema();
+
+}  // namespace nurd::trace

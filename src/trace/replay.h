@@ -1,0 +1,61 @@
+// Streaming replay cursor over a Job's checkpoints — the §6 "simulator"
+// interface: it "replicates real execution by sending [the predictor] the
+// features that would be available at each time checkpoint". Where the Job
+// struct exposes the whole materialized trace (convenient for benches), a
+// Replay enforces the online discipline: consumers see checkpoints strictly
+// in order and can only query state for the current horizon.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "trace/job.h"
+
+namespace nurd::trace {
+
+/// Forward-only cursor over a job's checkpoint stream.
+class Replay {
+ public:
+  /// Binds to a job; the job must outlive the replay.
+  explicit Replay(const Job& job);
+
+  /// True while checkpoints remain.
+  bool has_next() const { return next_ < job_->checkpoints.size(); }
+
+  /// Advances to the next checkpoint and returns its index.
+  std::size_t advance();
+
+  /// Index of the current checkpoint (throws before the first advance()).
+  std::size_t current_index() const;
+
+  /// The current observation horizon τrun.
+  double tau_run() const;
+
+  /// Feature snapshot at the current checkpoint.
+  const Matrix& features() const;
+
+  /// Tasks finished by the current horizon.
+  std::span<const std::size_t> finished() const;
+
+  /// Tasks still running at the current horizon.
+  std::span<const std::size_t> running() const;
+
+  /// Latency of a task — ONLY available once it has finished at the current
+  /// horizon; querying a still-running task throws (the online discipline).
+  double revealed_latency(std::size_t task) const;
+
+  /// Fraction of tasks finished at the current horizon.
+  double finished_fraction() const;
+
+  /// Resets to the beginning.
+  void reset() { next_ = 0; }
+
+ private:
+  const Checkpoint& cp() const;
+
+  const Job* job_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace nurd::trace

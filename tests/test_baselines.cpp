@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/registry.h"
+#include "eval/harness.h"
+#include "trace/generator.h"
+
+namespace nurd::core {
+namespace {
+
+const trace::Job& shared_job() {
+  static const trace::Job job = [] {
+    auto c = trace::GoogleLikeGenerator::google_defaults();
+    c.min_tasks = 100;
+    c.max_tasks = 100;
+    trace::GoogleLikeGenerator gen(c);
+    return gen.generate(1)[0];
+  }();
+  return job;
+}
+
+class RegistryMethodTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RegistryMethodTest, RunsCleanlyOverAJob) {
+  const auto& job = shared_job();
+  const auto method = predictor_by_name(GetParam());
+  auto predictor = method.make();
+  ASSERT_NE(predictor, nullptr);
+  EXPECT_EQ(predictor->name(), GetParam());
+  const auto run = eval::run_job(job, *predictor);
+  // Confusion counts partition the job's tasks.
+  EXPECT_EQ(run.final.tp + run.final.fp + run.final.fn + run.final.tn,
+            job.task_count());
+  EXPECT_EQ(run.flagged_at.size(), job.task_count());
+  // Flags are consistent with confusion totals.
+  const auto flagged = static_cast<std::size_t>(std::count_if(
+      run.flagged_at.begin(), run.flagged_at.end(),
+      [](std::size_t t) { return t != eval::kNeverFlagged; }));
+  EXPECT_EQ(flagged, run.final.tp + run.final.fp);
+}
+
+TEST_P(RegistryMethodTest, FreshInstancesAreIndependent) {
+  const auto& job = shared_job();
+  const auto method = predictor_by_name(GetParam());
+  auto a = method.make();
+  auto b = method.make();
+  const auto ra = eval::run_job(job, *a);
+  const auto rb = eval::run_job(job, *b);
+  EXPECT_EQ(ra.final.tp, rb.final.tp) << "non-deterministic method";
+  EXPECT_EQ(ra.final.fp, rb.final.fp);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, RegistryMethodTest,
+    ::testing::Values("GBTR", "ABOD", "CBLOF", "HBOS", "IFOREST", "KNN",
+                      "LOF", "MCD", "OCSVM", "PCA", "SOS", "LSCP", "COF",
+                      "SOD", "XGBOD", "PU-EN", "PU-BG", "Tobit", "Grabit",
+                      "CoxPH", "Wrangler", "NURD-NC", "NURD"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+TEST(Registry, HasAll23Methods) {
+  const auto all = all_predictors();
+  EXPECT_EQ(all.size(), 23u);
+  std::set<std::string> names;
+  for (const auto& m : all) names.insert(m.name);
+  EXPECT_EQ(names.size(), 23u);  // unique
+  EXPECT_TRUE(names.contains("NURD"));
+  EXPECT_TRUE(names.contains("Wrangler"));
+}
+
+TEST(Registry, TableOrderMatchesPaper) {
+  const auto all = all_predictors();
+  EXPECT_EQ(all.front().name, "GBTR");
+  EXPECT_EQ(all.back().name, "NURD");
+  EXPECT_EQ(all[all.size() - 2].name, "NURD-NC");
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW(predictor_by_name("NOPE"), std::invalid_argument);
+}
+
+TEST(Registry, TunedConfigsDiffer) {
+  EXPECT_NE(google_tuned().nurd_alpha, alibaba_tuned().nurd_alpha);
+}
+
+TEST(Wrangler, UsesPrivilegedLabels) {
+  // Wrangler should achieve clearly better-than-chance TPR because it sees
+  // true labels for 2/3 of the job.
+  const auto& job = shared_job();
+  auto predictor = predictor_by_name("Wrangler").make();
+  const auto run = eval::run_job(job, *predictor);
+  EXPECT_GT(run.final.tpr(), 0.5);
+}
+
+TEST(Gbtr, ConservativeWithoutPositives) {
+  // The supervised baseline trained only on finished tasks should have a
+  // very low false-positive rate (its predictions are biased low).
+  const auto& job = shared_job();
+  auto predictor = predictor_by_name("GBTR").make();
+  const auto run = eval::run_job(job, *predictor);
+  EXPECT_LT(run.final.fpr(), 0.10);
+}
+
+}  // namespace
+}  // namespace nurd::core

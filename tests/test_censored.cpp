@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "censored/coxph.h"
+#include "censored/tobit.h"
+#include "common/rng.h"
+
+namespace nurd::censored {
+namespace {
+
+TEST(Tobit, RecoversLinearModelWithoutCensoring) {
+  Rng rng(51);
+  const std::size_t n = 400;
+  Matrix x(n, 2);
+  std::vector<ml::Target> t(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.normal();
+    x(i, 1) = rng.normal();
+    t[i] = {10.0 + 3.0 * x(i, 0) - 2.0 * x(i, 1) + rng.normal(0.0, 0.2),
+            false};
+  }
+  TobitRegression model;
+  model.fit(x, t);
+  const std::vector<double> probe{1.0, 1.0};
+  EXPECT_NEAR(model.predict(probe), 11.0, 0.3);
+}
+
+TEST(Tobit, CensoringAwareBeatsNaiveOnCensoredData) {
+  // True model y = 5 + 4x; censor every observation above 6. A naive
+  // regression on the censored values underestimates the slope badly; Tobit
+  // should recover predictions beyond the censoring point.
+  Rng rng(52);
+  const std::size_t n = 500;
+  Matrix x(n, 1);
+  std::vector<ml::Target> t(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.uniform(-1.0, 1.0);
+    const double y = 5.0 + 4.0 * x(i, 0) + rng.normal(0.0, 0.3);
+    if (y > 6.0) {
+      t[i] = {6.0, true};
+    } else {
+      t[i] = {y, false};
+    }
+  }
+  TobitRegression model;
+  model.fit(x, t);
+  const std::vector<double> probe{1.0};
+  // True value at x = 1 is 9, far above the censoring point 6.
+  EXPECT_GT(model.predict(probe), 7.5);
+}
+
+TEST(Tobit, SigmaEstimateReasonable) {
+  Rng rng(53);
+  const std::size_t n = 400;
+  Matrix x(n, 1);
+  std::vector<ml::Target> t(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.normal();
+    t[i] = {2.0 * x(i, 0) + rng.normal(0.0, 1.5), false};
+  }
+  TobitRegression model;
+  model.fit(x, t);
+  EXPECT_NEAR(model.sigma(), 1.5, 0.5);
+}
+
+TEST(Tobit, PredictBeforeFitThrows) {
+  TobitRegression model;
+  const std::vector<double> row{1.0};
+  EXPECT_THROW(model.predict(row), std::invalid_argument);
+}
+
+TEST(Tobit, RejectsMismatchedInput) {
+  TobitRegression model;
+  Matrix x(3, 1);
+  std::vector<ml::Target> t(2);
+  EXPECT_THROW(model.fit(x, t), std::invalid_argument);
+}
+
+// Exponential survival data with rate λ(x) = exp(β·x): CoxPH should recover
+// the sign and rough magnitude of β.
+struct SurvivalProblem {
+  Matrix x;
+  std::vector<SurvivalObservation> obs;
+};
+
+SurvivalProblem exp_survival(std::size_t n, double beta, double censor_at,
+                             std::uint64_t seed) {
+  Rng rng(seed);
+  SurvivalProblem p;
+  p.x = Matrix(n, 1);
+  p.obs.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p.x(i, 0) = rng.normal();
+    const double rate = std::exp(beta * p.x(i, 0));
+    const double t = rng.exponential(rate);
+    if (t > censor_at) {
+      p.obs[i] = {censor_at, false};
+    } else {
+      p.obs[i] = {t, true};
+    }
+  }
+  return p;
+}
+
+TEST(CoxPh, RecoversHazardDirection) {
+  const auto p = exp_survival(600, 1.0, 50.0, 54);
+  CoxPh model;
+  model.fit(p.x, p.obs);
+  ASSERT_EQ(model.beta().size(), 1u);
+  // Higher x ⇒ higher hazard ⇒ positive β (features standardized, sign kept).
+  EXPECT_GT(model.beta()[0], 0.5);
+  EXPECT_LT(model.beta()[0], 2.0);
+}
+
+TEST(CoxPh, BaselineHazardMonotone) {
+  const auto p = exp_survival(300, 0.5, 10.0, 55);
+  CoxPh model;
+  model.fit(p.x, p.obs);
+  double prev = -1.0;
+  for (double t : {0.1, 0.5, 1.0, 2.0, 5.0, 20.0}) {
+    const double h = model.baseline_cumulative_hazard(t);
+    EXPECT_GE(h, prev);
+    prev = h;
+  }
+}
+
+TEST(CoxPh, SurvivalIsProbabilityAndDecreasing) {
+  const auto p = exp_survival(300, 0.5, 10.0, 56);
+  CoxPh model;
+  model.fit(p.x, p.obs);
+  const std::vector<double> probe{0.0};
+  double prev = 1.1;
+  for (double t : {0.1, 1.0, 5.0, 20.0, 100.0}) {
+    const double s = model.survival(t, probe);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+    EXPECT_LE(s, prev + 1e-12);
+    prev = s;
+  }
+}
+
+TEST(CoxPh, HigherRiskLowerSurvival) {
+  const auto p = exp_survival(400, 1.0, 30.0, 57);
+  CoxPh model;
+  model.fit(p.x, p.obs);
+  const std::vector<double> fast{2.0};   // high hazard
+  const std::vector<double> slow{-2.0};  // low hazard
+  EXPECT_LT(model.survival(1.0, fast), model.survival(1.0, slow));
+}
+
+TEST(CoxPh, ExtrapolatesBeyondObservedHorizon) {
+  const auto p = exp_survival(200, 0.5, 2.0, 58);
+  CoxPh model;
+  model.fit(p.x, p.obs);
+  // Beyond the last event time the cumulative hazard keeps growing at the
+  // average observed rate.
+  const double h_at_2 = model.baseline_cumulative_hazard(2.0);
+  const double h_at_4 = model.baseline_cumulative_hazard(4.0);
+  EXPECT_GT(h_at_4, h_at_2 * 1.5);
+}
+
+TEST(CoxPh, AllCensoredYieldsZeroHazard) {
+  Matrix x(5, 1, 0.0);
+  std::vector<SurvivalObservation> obs(5, {1.0, false});
+  CoxPh model;
+  model.fit(x, obs);
+  EXPECT_DOUBLE_EQ(model.baseline_cumulative_hazard(10.0), 0.0);
+  EXPECT_DOUBLE_EQ(model.survival(10.0, x.row(0)), 1.0);
+}
+
+TEST(CoxPh, RejectsMismatchedInput) {
+  CoxPh model;
+  Matrix x(3, 1);
+  std::vector<SurvivalObservation> obs(2);
+  EXPECT_THROW(model.fit(x, obs), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nurd::censored

@@ -1,0 +1,46 @@
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace nurd {
+namespace {
+
+TEST(NurdCheck, PassesOnTrueCondition) {
+  EXPECT_NO_THROW(NURD_CHECK(1 + 1 == 2, "math works"));
+}
+
+TEST(NurdCheck, ThrowsInvalidArgument) {
+  EXPECT_THROW(NURD_CHECK(false, "always fails"), std::invalid_argument);
+}
+
+TEST(NurdCheck, MessageContainsConditionAndText) {
+  try {
+    NURD_CHECK(2 > 3, "two is not greater");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 > 3"), std::string::npos);
+    EXPECT_NE(what.find("two is not greater"), std::string::npos);
+    EXPECT_NE(what.find("test_check.cpp"), std::string::npos);
+  }
+}
+
+TEST(NurdCheck, EvaluatesConditionOnce) {
+  int calls = 0;
+  auto increments = [&]() {
+    ++calls;
+    return true;
+  };
+  NURD_CHECK(increments(), "side-effect counter");
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(NurdCheck, AcceptsStdStringMessage) {
+  const std::string msg = "dynamic message";
+  EXPECT_THROW(NURD_CHECK(false, msg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nurd

@@ -1,0 +1,136 @@
+#include "trace/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/generator.h"
+
+namespace nurd::trace {
+namespace {
+
+Job sample_job() {
+  auto c = GoogleLikeGenerator::google_defaults();
+  c.min_tasks = 100;
+  c.max_tasks = 100;
+  GoogleLikeGenerator gen(c);
+  return gen.generate(1)[0];
+}
+
+TEST(CsvRoundTrip, PreservesJobExactly) {
+  const auto job = sample_job();
+  std::stringstream buffer;
+  write_csv(buffer, job, google_schema());
+  const auto back = read_csv(buffer, job.id);
+
+  EXPECT_EQ(back.task_count(), job.task_count());
+  EXPECT_EQ(back.feature_count, job.feature_count);
+  ASSERT_EQ(back.checkpoints.size(), job.checkpoints.size());
+  for (std::size_t i = 0; i < job.task_count(); ++i) {
+    EXPECT_NEAR(back.latencies[i], job.latencies[i],
+                1e-6 * job.latencies[i]);
+  }
+  for (std::size_t t = 0; t < job.checkpoints.size(); ++t) {
+    EXPECT_NEAR(back.checkpoints[t].tau_run, job.checkpoints[t].tau_run,
+                1e-6 * job.checkpoints[t].tau_run);
+    EXPECT_EQ(back.checkpoints[t].finished, job.checkpoints[t].finished);
+    EXPECT_EQ(back.checkpoints[t].running, job.checkpoints[t].running);
+    for (std::size_t i = 0; i < job.task_count(); ++i) {
+      EXPECT_NEAR(back.checkpoints[t].features(i, 0),
+                  job.checkpoints[t].features(i, 0), 1e-6);
+    }
+  }
+}
+
+TEST(CsvRoundTrip, HeaderCarriesSchemaNames) {
+  const auto job = sample_job();
+  std::stringstream buffer;
+  write_csv(buffer, job, google_schema());
+  std::string header;
+  std::getline(buffer, header);
+  EXPECT_NE(header.find("CPI"), std::string::npos);
+  EXPECT_NE(header.find("tau_run"), std::string::npos);
+}
+
+TEST(CsvWrite, RejectsSchemaWidthMismatch) {
+  const auto job = sample_job();  // 15 features
+  std::stringstream buffer;
+  EXPECT_THROW(write_csv(buffer, job, alibaba_schema()),
+               std::invalid_argument);
+}
+
+TEST(CsvRead, RejectsEmptyInput) {
+  std::stringstream empty;
+  EXPECT_THROW(read_csv(empty), std::invalid_argument);
+}
+
+TEST(CsvRead, RejectsBadHeader) {
+  std::stringstream bad("foo,bar\n1,2\n");
+  EXPECT_THROW(read_csv(bad), std::invalid_argument);
+}
+
+TEST(CsvRead, RejectsWrongCellCount) {
+  std::stringstream bad(
+      "task,latency,checkpoint,tau_run,f0\n"
+      "0,10.0,0\n");
+  EXPECT_THROW(read_csv(bad), std::invalid_argument);
+}
+
+TEST(CsvRead, RejectsConflictingLatency) {
+  std::stringstream bad(
+      "task,latency,checkpoint,tau_run,f0\n"
+      "0,10.0,0,5.0,1.0\n"
+      "0,11.0,1,6.0,1.0\n");
+  EXPECT_THROW(read_csv(bad), std::invalid_argument);
+}
+
+TEST(CsvRead, RejectsNonAscendingTau) {
+  std::stringstream bad(
+      "task,latency,checkpoint,tau_run,f0\n"
+      "0,10.0,0,5.0,1.0\n"
+      "0,10.0,1,4.0,1.0\n");
+  EXPECT_THROW(read_csv(bad), std::invalid_argument);
+}
+
+TEST(CsvRead, RejectsMissingTaskAtCheckpoint) {
+  std::stringstream bad(
+      "task,latency,checkpoint,tau_run,f0\n"
+      "0,10.0,0,5.0,1.0\n"
+      "1,12.0,0,5.0,1.0\n"
+      "0,10.0,1,6.0,1.0\n");
+  EXPECT_THROW(read_csv(bad), std::invalid_argument);
+}
+
+TEST(CsvRead, MinimalValidJob) {
+  std::stringstream good(
+      "task,latency,checkpoint,tau_run,f0,f1\n"
+      "0,10.0,0,5.0,1.0,2.0\n"
+      "1,4.0,0,5.0,3.0,4.0\n"
+      "0,10.0,1,8.0,1.1,2.1\n"
+      "1,4.0,1,8.0,3.1,4.1\n");
+  const auto job = read_csv(good, "mini");
+  EXPECT_EQ(job.task_count(), 2u);
+  EXPECT_EQ(job.feature_count, 2u);
+  ASSERT_EQ(job.checkpoints.size(), 2u);
+  // Task 1 (latency 4) finished at both horizons; task 0 never.
+  EXPECT_EQ(job.checkpoints[0].finished, (std::vector<std::size_t>{1}));
+  EXPECT_EQ(job.checkpoints[0].running, (std::vector<std::size_t>{0}));
+  EXPECT_DOUBLE_EQ(job.checkpoints[1].features(1, 1), 4.1);
+  EXPECT_EQ(job.id, "mini");
+}
+
+TEST(CsvFile, SaveAndLoadThroughFilesystem) {
+  const auto job = sample_job();
+  const std::string path = ::testing::TempDir() + "nurd_job.csv";
+  save_csv(path, job, google_schema());
+  const auto back = load_csv(path, "from-disk");
+  EXPECT_EQ(back.task_count(), job.task_count());
+  EXPECT_EQ(back.id, "from-disk");
+}
+
+TEST(CsvFile, LoadMissingFileThrows) {
+  EXPECT_THROW(load_csv("/nonexistent/dir/job.csv"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nurd::trace

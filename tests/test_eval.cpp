@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "core/predictor.h"
+#include "eval/harness.h"
+#include "eval/metrics.h"
+#include "trace/generator.h"
+
+namespace nurd::eval {
+namespace {
+
+TEST(Confusion, RatesAndF1) {
+  Confusion c{8, 2, 2, 88};
+  EXPECT_DOUBLE_EQ(c.tpr(), 0.8);
+  EXPECT_DOUBLE_EQ(c.fnr(), 0.2);
+  EXPECT_NEAR(c.fpr(), 2.0 / 90.0, 1e-12);
+  EXPECT_DOUBLE_EQ(c.f1(), 16.0 / 20.0);
+}
+
+TEST(Confusion, EmptyDenominators) {
+  Confusion none{0, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(none.tpr(), 0.0);
+  EXPECT_DOUBLE_EQ(none.fpr(), 0.0);
+  EXPECT_DOUBLE_EQ(none.f1(), 1.0);  // nothing to find, nothing flagged
+}
+
+TEST(Confusion, Accumulation) {
+  Confusion a{1, 2, 3, 4};
+  const Confusion b{10, 20, 30, 40};
+  a += b;
+  EXPECT_EQ(a.tp, 11u);
+  EXPECT_EQ(a.fn, 33u);
+}
+
+// Scripted predictor: flags a fixed set of tasks at a fixed checkpoint.
+class ScriptedPredictor final : public core::StragglerPredictor {
+ public:
+  ScriptedPredictor(std::size_t when, std::vector<std::size_t> which)
+      : when_(when), which_(std::move(which)) {}
+  std::string name() const override { return "scripted"; }
+  void initialize(const trace::Job&, double) override {}
+  std::vector<std::size_t> predict_stragglers(
+      const trace::Job&, std::size_t t,
+      std::span<const std::size_t> candidates) override {
+    std::vector<std::size_t> out;
+    if (t != when_) return out;
+    for (auto i : which_) {
+      for (auto c : candidates) {
+        if (c == i) out.push_back(i);
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::size_t when_;
+  std::vector<std::size_t> which_;
+};
+
+trace::Job test_job() {
+  auto c = trace::GoogleLikeGenerator::google_defaults();
+  c.min_tasks = 100;
+  c.max_tasks = 100;
+  trace::GoogleLikeGenerator gen(c);
+  return gen.generate(1)[0];
+}
+
+TEST(RunJob, NeverFlaggingCountsAllStragglersAsMisses) {
+  const auto job = test_job();
+  ScriptedPredictor p(999, {});
+  const auto run = run_job(job, p);
+  const auto labels = job.straggler_labels();
+  const auto positives = static_cast<std::size_t>(
+      std::count(labels.begin(), labels.end(), 1));
+  EXPECT_EQ(run.final.tp, 0u);
+  EXPECT_EQ(run.final.fp, 0u);
+  EXPECT_EQ(run.final.fn, positives);
+  EXPECT_EQ(run.final.tn, job.task_count() - positives);
+  EXPECT_DOUBLE_EQ(run.final.f1(), 0.0);
+}
+
+TEST(RunJob, FlaggingTrueStragglerCountsOnce) {
+  const auto job = test_job();
+  const auto labels = job.straggler_labels();
+  // Pick a straggler that is still running at checkpoint 0.
+  std::size_t straggler = trace::Job{}.latencies.size();
+  for (auto i : job.checkpoints[0].running) {
+    if (labels[i] == 1) {
+      straggler = i;
+      break;
+    }
+  }
+  ASSERT_LT(straggler, job.task_count());
+  ScriptedPredictor p(0, {straggler});
+  const auto run = run_job(job, p);
+  EXPECT_EQ(run.final.tp, 1u);
+  EXPECT_EQ(run.final.fp, 0u);
+  EXPECT_EQ(run.flagged_at[straggler], 0u);
+}
+
+TEST(RunJob, FlaggingNonStragglerIsFalsePositive) {
+  const auto job = test_job();
+  const auto labels = job.straggler_labels();
+  std::size_t non = job.task_count();
+  for (auto i : job.checkpoints[0].running) {
+    if (labels[i] == 0) {
+      non = i;
+      break;
+    }
+  }
+  ASSERT_LT(non, job.task_count());
+  ScriptedPredictor p(0, {non});
+  const auto run = run_job(job, p);
+  EXPECT_EQ(run.final.fp, 1u);
+  EXPECT_EQ(run.final.tp, 0u);
+}
+
+TEST(RunJob, PerCheckpointConfusionIsCumulative) {
+  const auto job = test_job();
+  ScriptedPredictor p(2, std::vector<std::size_t>(
+                             job.checkpoints[2].running.begin(),
+                             job.checkpoints[2].running.end()));
+  const auto run = run_job(job, p);
+  // Before checkpoint 2: no flags ⇒ zero TP and FP.
+  EXPECT_EQ(run.per_checkpoint[0].tp + run.per_checkpoint[0].fp, 0u);
+  EXPECT_EQ(run.per_checkpoint[1].tp + run.per_checkpoint[1].fp, 0u);
+  // From checkpoint 2 on, the flags persist.
+  EXPECT_GT(run.per_checkpoint[2].tp + run.per_checkpoint[2].fp, 0u);
+  EXPECT_EQ(run.per_checkpoint[9].tp, run.per_checkpoint[2].tp);
+}
+
+TEST(RunJob, FlaggedTaskNotReofferedAsCandidate) {
+  // A predictor that flags everything at t=0 must see zero candidates later.
+  class GreedyThenCount final : public core::StragglerPredictor {
+   public:
+    std::string name() const override { return "greedy"; }
+    void initialize(const trace::Job&, double) override {}
+    std::vector<std::size_t> predict_stragglers(
+        const trace::Job&, std::size_t t,
+        std::span<const std::size_t> candidates) override {
+      if (t == 0) {
+        return {candidates.begin(), candidates.end()};
+      }
+      later_candidates += candidates.size();
+      return {};
+    }
+    std::size_t later_candidates = 0;
+  };
+  const auto job = test_job();
+  GreedyThenCount p;
+  run_job(job, p);
+  EXPECT_EQ(p.later_candidates, 0u);
+}
+
+TEST(EvaluateMethod, AveragesOverJobs) {
+  auto c = trace::GoogleLikeGenerator::google_defaults();
+  c.min_tasks = 100;
+  c.max_tasks = 120;
+  trace::GoogleLikeGenerator gen(c);
+  const auto jobs = gen.generate(3);
+  core::NamedPredictor method{
+      "never", [] { return std::make_unique<ScriptedPredictor>(999,
+                        std::vector<std::size_t>{}); }};
+  const auto res = evaluate_method(method, jobs);
+  EXPECT_DOUBLE_EQ(res.f1, 0.0);
+  EXPECT_DOUBLE_EQ(res.tpr, 0.0);
+  EXPECT_DOUBLE_EQ(res.fnr, 1.0);
+  EXPECT_EQ(res.f1_timeline.size(), jobs[0].checkpoints.size());
+}
+
+TEST(RunMethod, OneRunPerJob) {
+  auto c = trace::GoogleLikeGenerator::google_defaults();
+  c.min_tasks = 100;
+  c.max_tasks = 120;
+  trace::GoogleLikeGenerator gen(c);
+  const auto jobs = gen.generate(4);
+  core::NamedPredictor method{
+      "never", [] { return std::make_unique<ScriptedPredictor>(999,
+                        std::vector<std::size_t>{}); }};
+  const auto runs = run_method(method, jobs);
+  ASSERT_EQ(runs.size(), 4u);
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_EQ(runs[j].flagged_at.size(), jobs[j].task_count());
+  }
+}
+
+}  // namespace
+}  // namespace nurd::eval

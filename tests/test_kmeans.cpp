@@ -1,0 +1,113 @@
+#include "common/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace nurd {
+namespace {
+
+// Two well-separated blobs around (0,0) and (100,100).
+Matrix two_blobs(std::size_t per_blob, Rng& rng) {
+  Matrix m(0, 0);
+  for (std::size_t i = 0; i < per_blob; ++i) {
+    const std::vector<double> a{rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)};
+    m.push_row(a);
+  }
+  for (std::size_t i = 0; i < per_blob; ++i) {
+    const std::vector<double> b{rng.normal(100.0, 1.0),
+                                rng.normal(100.0, 1.0)};
+    m.push_row(b);
+  }
+  return m;
+}
+
+TEST(KMeans, RecoversTwoSeparatedBlobs) {
+  Rng rng(5);
+  const auto pts = two_blobs(30, rng);
+  KMeansParams params;
+  params.k = 2;
+  const auto result = kmeans(pts, params, rng);
+  ASSERT_EQ(result.centroids.rows(), 2u);
+  // All first-blob points share a label, all second-blob points the other.
+  const std::size_t l0 = result.labels[0];
+  for (std::size_t i = 0; i < 30; ++i) EXPECT_EQ(result.labels[i], l0);
+  const std::size_t l1 = result.labels[30];
+  EXPECT_NE(l0, l1);
+  for (std::size_t i = 30; i < 60; ++i) EXPECT_EQ(result.labels[i], l1);
+}
+
+TEST(KMeans, CentroidsNearBlobMeans) {
+  Rng rng(6);
+  const auto pts = two_blobs(50, rng);
+  KMeansParams params;
+  params.k = 2;
+  const auto result = kmeans(pts, params, rng);
+  std::vector<double> c0(result.centroids.row(0).begin(),
+                         result.centroids.row(0).end());
+  std::vector<double> c1(result.centroids.row(1).begin(),
+                         result.centroids.row(1).end());
+  if (c0[0] > c1[0]) std::swap(c0, c1);
+  EXPECT_NEAR(c0[0], 0.0, 1.0);
+  EXPECT_NEAR(c1[0], 100.0, 1.0);
+}
+
+TEST(KMeans, SizesSumToN) {
+  Rng rng(7);
+  const auto pts = two_blobs(20, rng);
+  KMeansParams params;
+  params.k = 5;
+  const auto result = kmeans(pts, params, rng);
+  std::size_t total = 0;
+  for (auto s : result.sizes) total += s;
+  EXPECT_EQ(total, 40u);
+}
+
+TEST(KMeans, KClampedToDistinctPoints) {
+  Matrix pts{{1.0}, {1.0}, {1.0}};
+  Rng rng(8);
+  KMeansParams params;
+  params.k = 3;
+  const auto result = kmeans(pts, params, rng);
+  // Only one distinct point: seeding stops early.
+  EXPECT_LE(result.centroids.rows(), 3u);
+  EXPECT_DOUBLE_EQ(result.inertia, 0.0);
+}
+
+TEST(KMeans, InertiaNonIncreasingWithMoreClusters) {
+  Rng rng_data(9);
+  const auto pts = two_blobs(40, rng_data);
+  double prev = 1e300;
+  for (std::size_t k : {1u, 2u, 4u}) {
+    Rng rng(10);
+    KMeansParams params;
+    params.k = k;
+    const auto result = kmeans(pts, params, rng);
+    EXPECT_LE(result.inertia, prev + 1e-9);
+    prev = result.inertia;
+  }
+}
+
+TEST(KMeans, RejectsEmptyInput) {
+  Matrix empty(0, 0);
+  Rng rng(1);
+  KMeansParams params;
+  EXPECT_THROW(kmeans(empty, params, rng), std::invalid_argument);
+}
+
+TEST(KMeans, DeterministicGivenSeed) {
+  Rng d1(11), d2(11);
+  const auto p1 = two_blobs(25, d1);
+  const auto p2 = two_blobs(25, d2);
+  Rng r1(12), r2(12);
+  KMeansParams params;
+  params.k = 3;
+  const auto a = kmeans(p1, params, r1);
+  const auto b = kmeans(p2, params, r2);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+}  // namespace
+}  // namespace nurd

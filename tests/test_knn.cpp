@@ -1,0 +1,75 @@
+#include "common/knn.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nurd {
+namespace {
+
+Matrix line_points() {
+  // Points on a line at x = 0, 1, 2, 10.
+  return Matrix{{0.0}, {1.0}, {2.0}, {10.0}};
+}
+
+TEST(KnnIndex, NearestNeighborOnLine) {
+  KnnIndex index(line_points());
+  const std::vector<double> q{1.2};
+  const auto nb = index.query(q, 2);
+  ASSERT_EQ(nb.size(), 2u);
+  EXPECT_EQ(nb[0].index, 1u);
+  EXPECT_NEAR(nb[0].distance, 0.2, 1e-12);
+  EXPECT_EQ(nb[1].index, 2u);
+}
+
+TEST(KnnIndex, ExcludeSelfSkipsRow) {
+  KnnIndex index(line_points());
+  const auto nb = index.neighbors_of(0, 3);
+  ASSERT_EQ(nb.size(), 3u);
+  for (const auto& n : nb) EXPECT_NE(n.index, 0u);
+  EXPECT_EQ(nb[0].index, 1u);
+}
+
+TEST(KnnIndex, KClampedToAvailable) {
+  KnnIndex index(line_points());
+  const auto nb = index.neighbors_of(0, 100);
+  EXPECT_EQ(nb.size(), 3u);  // 4 points minus self
+}
+
+TEST(KnnIndex, DistancesAreAscending) {
+  KnnIndex index(line_points());
+  const std::vector<double> q{5.0};
+  const auto nb = index.query(q, 4);
+  for (std::size_t i = 0; i + 1 < nb.size(); ++i) {
+    EXPECT_LE(nb[i].distance, nb[i + 1].distance);
+  }
+}
+
+TEST(KnnIndex, TiesBrokenByIndex) {
+  Matrix pts{{0.0}, {2.0}, {-2.0}};
+  KnnIndex index(pts);
+  const std::vector<double> q{0.0};
+  const auto nb = index.query(q, 3);
+  EXPECT_EQ(nb[0].index, 0u);
+  EXPECT_EQ(nb[1].index, 1u);  // distance tie with row 2; lower index first
+  EXPECT_EQ(nb[2].index, 2u);
+}
+
+TEST(KnnIndex, QueryDimensionMismatchThrows) {
+  KnnIndex index(line_points());
+  const std::vector<double> q{1.0, 2.0};
+  EXPECT_THROW(index.query(q, 1), std::invalid_argument);
+}
+
+TEST(PairwiseDistances, SymmetricZeroDiagonal) {
+  Matrix pts{{0.0, 0.0}, {3.0, 4.0}, {6.0, 8.0}};
+  const auto d = pairwise_distances(pts);
+  EXPECT_DOUBLE_EQ(d(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(d(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(d(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(d(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(d(0, 2), 10.0);
+}
+
+}  // namespace
+}  // namespace nurd

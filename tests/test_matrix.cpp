@@ -1,0 +1,128 @@
+#include "common/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nurd {
+namespace {
+
+TEST(Matrix, DefaultConstructedIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, SizedConstructorFills) {
+  Matrix m(3, 2, 1.5);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) EXPECT_DOUBLE_EQ(m(r, c), 1.5);
+  }
+}
+
+TEST(Matrix, InitializerListLayout) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 4.0);
+}
+
+TEST(Matrix, FromFlatRoundTrip) {
+  auto m = Matrix::from_flat(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_DOUBLE_EQ(m(1, 2), 6.0);
+  EXPECT_DOUBLE_EQ(m(0, 2), 3.0);
+}
+
+TEST(Matrix, FromFlatRejectsSizeMismatch) {
+  EXPECT_THROW(Matrix::from_flat(2, 2, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Matrix, RowSpanIsMutable) {
+  Matrix m(2, 2, 0.0);
+  auto row = m.row(1);
+  row[0] = 7.0;
+  EXPECT_DOUBLE_EQ(m(1, 0), 7.0);
+}
+
+TEST(Matrix, ColExtraction) {
+  Matrix m{{1, 2}, {3, 4}, {5, 6}};
+  const auto c1 = m.col(1);
+  ASSERT_EQ(c1.size(), 3u);
+  EXPECT_DOUBLE_EQ(c1[0], 2.0);
+  EXPECT_DOUBLE_EQ(c1[2], 6.0);
+}
+
+TEST(Matrix, ColOutOfRangeThrows) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.col(2), std::invalid_argument);
+}
+
+TEST(Matrix, PushRowSetsWidthFromFirstRow) {
+  Matrix m;
+  const std::vector<double> row{1.0, 2.0, 3.0};
+  m.push_row(row);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.rows(), 1u);
+}
+
+TEST(Matrix, PushRowRejectsWidthMismatch) {
+  Matrix m(1, 2);
+  const std::vector<double> bad{1.0, 2.0, 3.0};
+  EXPECT_THROW(m.push_row(bad), std::invalid_argument);
+}
+
+TEST(Matrix, SelectRowsPreservesOrder) {
+  Matrix m{{0, 0}, {1, 1}, {2, 2}, {3, 3}};
+  const std::vector<std::size_t> idx{3, 1};
+  const auto s = m.select_rows(idx);
+  EXPECT_EQ(s.rows(), 2u);
+  EXPECT_DOUBLE_EQ(s(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(s(1, 0), 1.0);
+}
+
+TEST(Matrix, SelectRowsRejectsOutOfRange) {
+  Matrix m(2, 2);
+  const std::vector<std::size_t> idx{5};
+  EXPECT_THROW(m.select_rows(idx), std::invalid_argument);
+}
+
+TEST(Matrix, ColMeansAndStddevs) {
+  Matrix m{{1, 10}, {3, 10}};
+  const auto mu = m.col_means();
+  EXPECT_DOUBLE_EQ(mu[0], 2.0);
+  EXPECT_DOUBLE_EQ(mu[1], 10.0);
+  const auto sd = m.col_stddevs();
+  EXPECT_DOUBLE_EQ(sd[0], 1.0);
+  EXPECT_DOUBLE_EQ(sd[1], 0.0);
+}
+
+TEST(Matrix, ColMeansOfEmptyMatrixAreZero) {
+  Matrix m(0, 0);
+  EXPECT_TRUE(m.col_means().empty());
+}
+
+TEST(VectorOps, SquaredAndEuclideanDistance) {
+  const std::vector<double> a{0.0, 3.0};
+  const std::vector<double> b{4.0, 0.0};
+  EXPECT_DOUBLE_EQ(squared_distance(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(euclidean_distance(a, b), 5.0);
+}
+
+TEST(VectorOps, DotAndNorm) {
+  const std::vector<double> a{1.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(dot(a, a), 9.0);
+  EXPECT_DOUBLE_EQ(norm2(a), 3.0);
+}
+
+TEST(VectorOps, DistanceToSelfIsZero) {
+  const std::vector<double> a{1.5, -2.5, 0.25};
+  EXPECT_DOUBLE_EQ(squared_distance(a, a), 0.0);
+}
+
+}  // namespace
+}  // namespace nurd

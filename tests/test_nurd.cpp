@@ -1,0 +1,161 @@
+#include "core/nurd.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "eval/harness.h"
+#include "trace/generator.h"
+
+namespace nurd::core {
+namespace {
+
+trace::GeneratorConfig config_with(trace::TailRegime regime) {
+  auto c = trace::GoogleLikeGenerator::google_defaults();
+  c.min_tasks = 100;
+  c.max_tasks = 160;
+  c.regime = regime;
+  return c;
+}
+
+TEST(NurdWeight, ClipsToEpsilonAndOne) {
+  NurdParams params;
+  params.alpha = 0.5;
+  params.epsilon = 0.05;
+  NurdPredictor nurd(params);
+  trace::GoogleLikeGenerator gen(config_with(trace::TailRegime::kFar));
+  const auto job = gen.generate(1)[0];
+  nurd.initialize(job, job.straggler_threshold());
+  // Weight is max(ε, min(z + δ, 1)) — Eq. 4.
+  EXPECT_DOUBLE_EQ(nurd.weight(-5.0), params.epsilon);
+  EXPECT_DOUBLE_EQ(nurd.weight(5.0), 1.0);
+  const double z = 0.5;
+  const double expected =
+      std::max(params.epsilon, std::min(z + nurd.delta(), 1.0));
+  EXPECT_DOUBLE_EQ(nurd.weight(z), expected);
+}
+
+TEST(NurdWeight, NoCalibrationUsesRawPropensity) {
+  NurdParams params;
+  params.calibrate = false;
+  NurdPredictor nc(params);
+  trace::GoogleLikeGenerator gen(config_with(trace::TailRegime::kFar));
+  const auto job = gen.generate(1)[0];
+  nc.initialize(job, job.straggler_threshold());
+  EXPECT_DOUBLE_EQ(nc.weight(0.4), 0.4);
+  EXPECT_DOUBLE_EQ(nc.weight(0.01), params.epsilon);
+}
+
+TEST(NurdDelta, MatchesFormula) {
+  NurdParams params;
+  params.alpha = 0.35;
+  NurdPredictor nurd(params);
+  trace::GoogleLikeGenerator gen(config_with(trace::TailRegime::kNear));
+  const auto job = gen.generate(1)[0];
+  nurd.initialize(job, job.straggler_threshold());
+  EXPECT_NEAR(nurd.delta(), 1.0 / (1.0 + nurd.rho()) - params.alpha, 1e-12);
+}
+
+TEST(NurdDelta, BoundedByAlpha) {
+  // δ = 1/(1+ρ) − α ∈ (−α, 1−α); for any ρ ≥ 0 it cannot exceed 1−α.
+  NurdParams params;
+  params.alpha = 0.5;
+  trace::GoogleLikeGenerator gen(config_with(trace::TailRegime::kMixed));
+  for (const auto& job : gen.generate(6)) {
+    NurdPredictor nurd(params);
+    nurd.initialize(job, job.straggler_threshold());
+    EXPECT_GT(nurd.delta(), -params.alpha);
+    EXPECT_LE(nurd.delta(), 1.0 - params.alpha);
+  }
+}
+
+TEST(NurdRho, FarTailJobsHaveSmallerRho) {
+  // §4.2: ρ indicates how far potential stragglers are from non-stragglers;
+  // far-tail jobs should produce smaller ρ than near-tail jobs on average.
+  auto far_cfg = config_with(trace::TailRegime::kFar);
+  auto near_cfg = config_with(trace::TailRegime::kNear);
+  trace::GoogleLikeGenerator far_gen(far_cfg), near_gen(near_cfg);
+  std::vector<double> far_rho, near_rho;
+  for (const auto& job : far_gen.generate(15)) {
+    NurdPredictor nurd;
+    nurd.initialize(job, job.straggler_threshold());
+    far_rho.push_back(nurd.rho());
+  }
+  for (const auto& job : near_gen.generate(15)) {
+    NurdPredictor nurd;
+    nurd.initialize(job, job.straggler_threshold());
+    near_rho.push_back(nurd.rho());
+  }
+  EXPECT_LT(median(far_rho), median(near_rho));
+}
+
+TEST(NurdPredict, ReturnsSubsetOfCandidates) {
+  trace::GoogleLikeGenerator gen(config_with(trace::TailRegime::kFar));
+  const auto job = gen.generate(1)[0];
+  NurdPredictor nurd;
+  nurd.initialize(job, job.straggler_threshold());
+  for (std::size_t t = 0; t < job.checkpoints.size(); ++t) {
+    const auto& cand = job.checkpoints[t].running;
+    const auto flagged = nurd.predict_stragglers(job, t, cand);
+    for (auto f : flagged) {
+      EXPECT_NE(std::find(cand.begin(), cand.end(), f), cand.end());
+    }
+  }
+}
+
+TEST(NurdPredict, EmptyCandidatesYieldNoFlags) {
+  trace::GoogleLikeGenerator gen(config_with(trace::TailRegime::kFar));
+  const auto job = gen.generate(1)[0];
+  NurdPredictor nurd;
+  nurd.initialize(job, job.straggler_threshold());
+  EXPECT_TRUE(nurd.predict_stragglers(job, 0, {}).empty());
+}
+
+TEST(NurdPredict, OutOfRangeCheckpointThrows) {
+  trace::GoogleLikeGenerator gen(config_with(trace::TailRegime::kFar));
+  const auto job = gen.generate(1)[0];
+  NurdPredictor nurd;
+  nurd.initialize(job, job.straggler_threshold());
+  const std::vector<std::size_t> cand{0};
+  EXPECT_THROW(nurd.predict_stragglers(job, 99, cand),
+               std::invalid_argument);
+}
+
+TEST(NurdParams, Validation) {
+  NurdParams bad_alpha;
+  bad_alpha.alpha = 0.0;
+  EXPECT_THROW(NurdPredictor{bad_alpha}, std::invalid_argument);
+  NurdParams bad_eps;
+  bad_eps.epsilon = 0.0;
+  EXPECT_THROW(NurdPredictor{bad_eps}, std::invalid_argument);
+}
+
+TEST(NurdEndToEnd, BeatsUncalibratedVariantOnFalsePositives) {
+  // The paper's core ablation: NURD-NC has high TPR but much higher FPR
+  // than NURD (Table 3). Verify the FPR ordering on a small mixed job set.
+  trace::GoogleLikeGenerator gen(config_with(trace::TailRegime::kMixed));
+  const auto jobs = gen.generate(8);
+  double fpr_nurd = 0.0, fpr_nc = 0.0;
+  for (const auto& job : jobs) {
+    NurdParams p;
+    p.alpha = 0.25;
+    NurdPredictor nurd(p);
+    auto run = eval::run_job(job, nurd);
+    fpr_nurd += run.final.fpr();
+    NurdParams pnc;
+    pnc.calibrate = false;
+    NurdPredictor nc(pnc);
+    run = eval::run_job(job, nc);
+    fpr_nc += run.final.fpr();
+  }
+  EXPECT_LT(fpr_nurd, fpr_nc);
+}
+
+TEST(NurdEndToEnd, Name) {
+  NurdParams p;
+  EXPECT_EQ(NurdPredictor(p).name(), "NURD");
+  p.calibrate = false;
+  EXPECT_EQ(NurdPredictor(p).name(), "NURD-NC");
+}
+
+}  // namespace
+}  // namespace nurd::core

@@ -1,0 +1,103 @@
+#include "trace/replay.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/generator.h"
+
+namespace nurd::trace {
+namespace {
+
+Job test_job() {
+  auto c = GoogleLikeGenerator::google_defaults();
+  c.min_tasks = 100;
+  c.max_tasks = 100;
+  GoogleLikeGenerator gen(c);
+  return gen.generate(1)[0];
+}
+
+TEST(Replay, WalksAllCheckpointsInOrder) {
+  const auto job = test_job();
+  Replay replay(job);
+  std::size_t count = 0;
+  double prev_tau = 0.0;
+  while (replay.has_next()) {
+    EXPECT_EQ(replay.advance(), count);
+    EXPECT_GT(replay.tau_run(), prev_tau);
+    prev_tau = replay.tau_run();
+    ++count;
+  }
+  EXPECT_EQ(count, job.checkpoints.size());
+}
+
+TEST(Replay, QueriesBeforeFirstAdvanceThrow) {
+  const auto job = test_job();
+  Replay replay(job);
+  EXPECT_THROW(replay.current_index(), std::invalid_argument);
+}
+
+TEST(Replay, ExhaustedAdvanceThrows) {
+  const auto job = test_job();
+  Replay replay(job);
+  while (replay.has_next()) replay.advance();
+  EXPECT_THROW(replay.advance(), std::invalid_argument);
+}
+
+TEST(Replay, RevealsOnlyFinishedLatencies) {
+  const auto job = test_job();
+  Replay replay(job);
+  replay.advance();
+  for (auto i : replay.finished()) {
+    EXPECT_LE(replay.revealed_latency(i), replay.tau_run());
+  }
+  for (auto i : replay.running()) {
+    EXPECT_THROW(replay.revealed_latency(i), std::invalid_argument);
+  }
+}
+
+TEST(Replay, LateCheckpointRevealsEarlierRunner) {
+  const auto job = test_job();
+  Replay replay(job);
+  replay.advance();
+  // Pick a task running at the first checkpoint that finishes mid-job.
+  std::size_t task = job.task_count();
+  for (auto i : replay.running()) {
+    if (job.latencies[i] <= job.checkpoints[5].tau_run) {
+      task = i;
+      break;
+    }
+  }
+  ASSERT_LT(task, job.task_count());
+  while (replay.current_index() < 5) replay.advance();
+  EXPECT_DOUBLE_EQ(replay.revealed_latency(task), job.latencies[task]);
+}
+
+TEST(Replay, FinishedFractionIsMonotone) {
+  const auto job = test_job();
+  Replay replay(job);
+  double prev = -1.0;
+  while (replay.has_next()) {
+    replay.advance();
+    EXPECT_GE(replay.finished_fraction(), prev);
+    prev = replay.finished_fraction();
+  }
+}
+
+TEST(Replay, ResetRestarts) {
+  const auto job = test_job();
+  Replay replay(job);
+  replay.advance();
+  replay.advance();
+  replay.reset();
+  EXPECT_TRUE(replay.has_next());
+  EXPECT_EQ(replay.advance(), 0u);
+}
+
+TEST(Replay, FeaturesMatchJobSnapshot) {
+  const auto job = test_job();
+  Replay replay(job);
+  replay.advance();
+  EXPECT_EQ(&replay.features(), &job.checkpoints[0].features);
+}
+
+}  // namespace
+}  // namespace nurd::trace

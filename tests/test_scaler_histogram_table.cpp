@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "common/histogram.h"
+#include "common/scaler.h"
+#include "common/table.h"
+
+namespace nurd {
+namespace {
+
+TEST(StandardScaler, TransformsToZeroMeanUnitVariance) {
+  Matrix x{{1.0, 10.0}, {2.0, 20.0}, {3.0, 30.0}};
+  StandardScaler scaler;
+  const auto xs = scaler.fit_transform(x);
+  for (std::size_t c = 0; c < 2; ++c) {
+    double mean = 0.0;
+    for (std::size_t r = 0; r < 3; ++r) mean += xs(r, c);
+    EXPECT_NEAR(mean / 3.0, 0.0, 1e-12);
+  }
+  EXPECT_NEAR(xs(0, 0), -1.2247448, 1e-6);
+}
+
+TEST(StandardScaler, ZeroVarianceColumnPassesThroughCentered) {
+  Matrix x{{5.0}, {5.0}};
+  StandardScaler scaler;
+  const auto xs = scaler.fit_transform(x);
+  EXPECT_DOUBLE_EQ(xs(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(xs(1, 0), 0.0);
+}
+
+TEST(StandardScaler, TransformRowMatchesMatrixTransform) {
+  Matrix x{{1.0, 2.0}, {3.0, 6.0}};
+  StandardScaler scaler;
+  scaler.fit(x);
+  std::vector<double> row{1.0, 2.0};
+  scaler.transform_row(row);
+  const auto xs = scaler.transform(x);
+  EXPECT_DOUBLE_EQ(row[0], xs(0, 0));
+  EXPECT_DOUBLE_EQ(row[1], xs(0, 1));
+}
+
+TEST(StandardScaler, UnfittedThrows) {
+  StandardScaler scaler;
+  Matrix x(1, 1);
+  EXPECT_THROW(scaler.transform(x), std::invalid_argument);
+}
+
+TEST(StandardScaler, ColumnMismatchThrows) {
+  Matrix x(2, 2, 1.0);
+  StandardScaler scaler;
+  scaler.fit(x);
+  Matrix bad(2, 3, 1.0);
+  EXPECT_THROW(scaler.transform(bad), std::invalid_argument);
+}
+
+TEST(Histogram, CountsSumToN) {
+  const std::vector<double> v{0.0, 0.1, 0.5, 0.9, 1.0};
+  const Histogram h(v, 4);
+  std::size_t total = 0;
+  for (std::size_t b = 0; b < h.bin_count(); ++b) total += h.count(b);
+  EXPECT_EQ(total, v.size());
+}
+
+TEST(Histogram, BinOfClampsOutOfRange) {
+  const std::vector<double> v{0.0, 1.0};
+  const Histogram h(v, 2);
+  EXPECT_EQ(h.bin_of(-5.0), 0u);
+  EXPECT_EQ(h.bin_of(5.0), h.bin_count() - 1);
+}
+
+TEST(Histogram, ConstantDataSingleBin) {
+  const std::vector<double> v{3.0, 3.0, 3.0};
+  const Histogram h(v, 10);
+  EXPECT_EQ(h.bin_count(), 1u);
+  EXPECT_EQ(h.count(0), 3u);
+}
+
+TEST(Histogram, DensityIntegratesToOne) {
+  const std::vector<double> v{0.0, 0.25, 0.5, 0.75, 1.0};
+  const Histogram h(v, 5);
+  const double width = (h.hi() - h.lo()) / static_cast<double>(h.bin_count());
+  double integral = 0.0;
+  for (std::size_t b = 0; b < h.bin_count(); ++b) {
+    integral += h.density(h.lo() + (static_cast<double>(b) + 0.5) * width) *
+                width;
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-9);
+}
+
+TEST(Histogram, DensityFloorKeepsLogFinite) {
+  const std::vector<double> v{0.0, 1.0};
+  const Histogram h(v, 10);
+  EXPECT_GT(h.density(0.5), 0.0);  // empty middle bin still positive
+}
+
+TEST(Histogram, RejectsEmptyInput) {
+  EXPECT_THROW(Histogram({}, 4), std::invalid_argument);
+}
+
+TEST(Histogram, AsciiHasOneLinePerBin) {
+  const std::vector<double> v{0.0, 0.5, 1.0};
+  const Histogram h(v, 3);
+  const auto s = h.ascii();
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'),
+            static_cast<std::ptrdiff_t>(h.bin_count()));
+}
+
+TEST(TextTable, RendersHeaderRuleAndRows) {
+  TextTable t({"a", "bb"});
+  t.add_row({"1", "2"});
+  const auto s = t.render();
+  EXPECT_NE(s.find("a"), std::string::npos);
+  EXPECT_NE(s.find("--"), std::string::npos);
+  EXPECT_NE(s.find("1"), std::string::npos);
+}
+
+TEST(TextTable, RejectsWidthMismatch) {
+  TextTable t({"a"});
+  EXPECT_THROW(t.add_row({"1", "2"}), std::invalid_argument);
+}
+
+TEST(TextTable, NumFormatsPrecision) {
+  EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace nurd

@@ -1,0 +1,179 @@
+#include "sched/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/generator.h"
+
+namespace nurd::sched {
+namespace {
+
+// A hand-built job with known latencies and a simple checkpoint grid.
+trace::Job toy_job() {
+  trace::Job job;
+  job.id = "toy";
+  // One dominant straggler (latency 100) and nine fast tasks.
+  job.latencies = {10, 11, 12, 13, 14, 15, 16, 17, 18, 100};
+  job.feature_count = 1;
+  for (double tau : {12.5, 20.0, 50.0, 99.0}) {
+    trace::Checkpoint cp;
+    cp.tau_run = tau;
+    cp.features = Matrix(job.latencies.size(), 1, 0.0);
+    for (std::size_t i = 0; i < job.latencies.size(); ++i) {
+      (job.latencies[i] <= tau ? cp.finished : cp.running).push_back(i);
+    }
+    job.checkpoints.push_back(std::move(cp));
+  }
+  return job;
+}
+
+TEST(ScheduleUnlimited, NoFlagsNoChange) {
+  const auto job = toy_job();
+  std::vector<std::size_t> flags(job.task_count(), eval::kNeverFlagged);
+  Rng rng(1);
+  const auto r = schedule_unlimited(job, flags, rng);
+  EXPECT_DOUBLE_EQ(r.original_jct, 100.0);
+  EXPECT_DOUBLE_EQ(r.mitigated_jct, 100.0);
+  EXPECT_EQ(r.relaunched, 0u);
+  EXPECT_DOUBLE_EQ(r.reduction_pct(), 0.0);
+}
+
+TEST(ScheduleUnlimited, EarlyFlagOnStragglerReducesJct) {
+  const auto job = toy_job();
+  std::vector<std::size_t> flags(job.task_count(), eval::kNeverFlagged);
+  flags[9] = 0;  // flag the straggler at τ = 12.5
+  // A single resample can unluckily redraw the straggler latency (10%
+  // chance), so check the average over seeds: expected new completion is
+  // 12.5 + E[latency] ≈ 12.5 + 22.6, well below 100.
+  double total_reduction = 0.0;
+  std::size_t relaunched = 0;
+  const int trials = 50;
+  for (int seed = 0; seed < trials; ++seed) {
+    Rng rng(static_cast<std::uint64_t>(seed));
+    const auto r = schedule_unlimited(job, flags, rng);
+    total_reduction += r.reduction_pct();
+    relaunched += r.relaunched;
+  }
+  EXPECT_EQ(relaunched, static_cast<std::size_t>(trials));
+  EXPECT_GT(total_reduction / trials, 30.0);
+}
+
+TEST(ScheduleUnlimited, LateFlagHelpsLess) {
+  const auto job = toy_job();
+  std::vector<std::size_t> early(job.task_count(), eval::kNeverFlagged);
+  std::vector<std::size_t> late(job.task_count(), eval::kNeverFlagged);
+  early[9] = 0;  // τ = 12.5
+  late[9] = 3;   // τ = 99 — right before the straggler finishes anyway
+  double early_total = 0.0, late_total = 0.0;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    Rng ra(seed), rb(seed);
+    early_total += schedule_unlimited(job, early, ra).mitigated_jct;
+    late_total += schedule_unlimited(job, late, rb).mitigated_jct;
+  }
+  EXPECT_LT(early_total, late_total);
+}
+
+TEST(ScheduleUnlimited, FalsePositiveCanHurt) {
+  // Flagging a fast task wastes a relaunch: its new completion is flag time
+  // + resample, which can exceed its natural latency. With the straggler
+  // untreated the JCT cannot improve.
+  const auto job = toy_job();
+  std::vector<std::size_t> flags(job.task_count(), eval::kNeverFlagged);
+  flags[0] = 0;
+  Rng rng(3);
+  const auto r = schedule_unlimited(job, flags, rng);
+  EXPECT_DOUBLE_EQ(r.original_jct, 100.0);
+  EXPECT_GE(r.mitigated_jct, 100.0);  // straggler still finishes at 100
+}
+
+TEST(ScheduleUnlimited, RejectsLengthMismatch) {
+  const auto job = toy_job();
+  std::vector<std::size_t> flags(3, eval::kNeverFlagged);
+  Rng rng(1);
+  EXPECT_THROW(schedule_unlimited(job, flags, rng), std::invalid_argument);
+}
+
+TEST(ScheduleLimited, ZeroSparesStillFreesFinishedMachines) {
+  const auto job = toy_job();
+  std::vector<std::size_t> flags(job.task_count(), eval::kNeverFlagged);
+  flags[9] = 1;  // flagged at τ = 20 with zero initial spares
+  Rng rng(4);
+  const auto r = schedule_limited(job, flags, 0, rng);
+  // Machines freed by the nine fast tasks (all done by τ = 20 except some)
+  // let the straggler relaunch at a later checkpoint.
+  EXPECT_EQ(r.relaunched, 1u);
+}
+
+TEST(ScheduleLimited, PlentyOfSparesMatchesImmediateRelaunch) {
+  const auto job = toy_job();
+  std::vector<std::size_t> flags(job.task_count(), eval::kNeverFlagged);
+  flags[9] = 0;
+  Rng ra(5), rb(5);
+  const auto unlimited = schedule_unlimited(job, flags, ra);
+  const auto limited = schedule_limited(job, flags, 100, rb);
+  EXPECT_DOUBLE_EQ(unlimited.mitigated_jct, limited.mitigated_jct);
+}
+
+TEST(ScheduleLimited, QueueDrainsFifo) {
+  // Two flagged tasks, one spare machine: the first flagged gets it; the
+  // second waits for a freed machine at a later checkpoint.
+  trace::Job job = toy_job();
+  std::vector<std::size_t> flags(job.task_count(), eval::kNeverFlagged);
+  flags[8] = 0;  // still running at τ=12.5 (latency 18)
+  flags[9] = 0;  // straggler
+  Rng rng(6);
+  const auto r = schedule_limited(job, flags, 1, rng);
+  EXPECT_EQ(r.relaunched + r.waited, 2u + r.waited);  // both relaunch or wait
+  EXPECT_GE(r.waited, 0u);
+}
+
+TEST(ScheduleLimited, FlaggedTaskThatFinishesLeavesQueue) {
+  trace::Job job = toy_job();
+  std::vector<std::size_t> flags(job.task_count(), eval::kNeverFlagged);
+  // Task 0 (latency 10) is already finished by τ = 12.5; a flag on it must
+  // not consume a machine.
+  flags[0] = 0;
+  Rng rng(7);
+  const auto r = schedule_limited(job, flags, 5, rng);
+  EXPECT_EQ(r.relaunched, 0u);
+  EXPECT_DOUBLE_EQ(r.mitigated_jct, r.original_jct);
+}
+
+TEST(ScheduleLimited, MoreMachinesNeverWorseOnAverage) {
+  auto c = trace::GoogleLikeGenerator::google_defaults();
+  c.min_tasks = 100;
+  c.max_tasks = 120;
+  trace::GoogleLikeGenerator gen(c);
+  const auto jobs = gen.generate(4);
+  // Flag all true stragglers at their first running checkpoint.
+  std::vector<eval::JobRunResult> runs(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const auto labels = jobs[j].straggler_labels();
+    runs[j].flagged_at.assign(jobs[j].task_count(), eval::kNeverFlagged);
+    for (std::size_t i = 0; i < jobs[j].task_count(); ++i) {
+      if (labels[i] == 1) runs[j].flagged_at[i] = 1;
+    }
+  }
+  const double few = mean_reduction_limited(jobs, runs, 2, 17);
+  const double many = mean_reduction_limited(jobs, runs, 200, 17);
+  EXPECT_GE(many, few - 1.0);  // allow resampling noise of ~1 point
+}
+
+TEST(MeanReduction, RejectsMismatchedInputs) {
+  const auto job = toy_job();
+  std::vector<trace::Job> jobs{job};
+  std::vector<eval::JobRunResult> runs;
+  EXPECT_THROW(mean_reduction_unlimited(jobs, runs, 1),
+               std::invalid_argument);
+}
+
+TEST(ScheduleResult, ReductionPctSign) {
+  ScheduleResult r;
+  r.original_jct = 100.0;
+  r.mitigated_jct = 80.0;
+  EXPECT_DOUBLE_EQ(r.reduction_pct(), 20.0);
+  r.mitigated_jct = 120.0;
+  EXPECT_DOUBLE_EQ(r.reduction_pct(), -20.0);
+}
+
+}  // namespace
+}  // namespace nurd::sched

@@ -1,0 +1,125 @@
+#include "core/transfer.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/harness.h"
+#include "trace/generator.h"
+
+namespace nurd::core {
+namespace {
+
+std::vector<trace::Job> source_jobs(std::size_t n, std::uint64_t seed) {
+  auto c = trace::GoogleLikeGenerator::google_defaults();
+  c.min_tasks = 100;
+  c.max_tasks = 160;
+  c.seed = seed;
+  trace::GoogleLikeGenerator gen(c);
+  return gen.generate(n);
+}
+
+std::shared_ptr<TransferModel> fitted_model() {
+  static const auto model = [] {
+    auto m = std::make_shared<TransferModel>();
+    m->fit(source_jobs(6, 555));
+    return m;
+  }();
+  return model;
+}
+
+TEST(TransferModel, PoolsAllSourceTasks) {
+  const auto jobs = source_jobs(3, 556);
+  TransferModel model;
+  model.fit(jobs);
+  std::size_t total = 0;
+  for (const auto& j : jobs) total += j.task_count();
+  EXPECT_EQ(model.pooled_samples(), total);
+  EXPECT_TRUE(model.fitted());
+}
+
+TEST(TransferModel, PredictionScalesWithMedian) {
+  const auto model = fitted_model();
+  const auto jobs = source_jobs(1, 557);
+  const auto& cp = jobs[0].checkpoints.back();
+  const auto mu = cp.features.col_means();
+  const auto sd = cp.features.col_stddevs();
+  const double p1 = model->predict(cp.features.row(0), mu, sd, 100.0);
+  const double p2 = model->predict(cp.features.row(0), mu, sd, 200.0);
+  EXPECT_NEAR(p2, 2.0 * p1, 1e-9);
+  EXPECT_GT(p1, 0.0);
+}
+
+TEST(TransferModel, TransfersSlownessOrdering) {
+  // On a fresh target job, the pooled model should rank true stragglers'
+  // latencies above the median non-straggler prediction.
+  const auto model = fitted_model();
+  const auto target = source_jobs(1, 600)[0];
+  const auto& cp = target.checkpoints.back();
+  const auto mu = cp.features.col_means();
+  const auto sd = cp.features.col_stddevs();
+  const auto labels = target.straggler_labels();
+  double mean_strag = 0.0, mean_non = 0.0;
+  std::size_t n_strag = 0, n_non = 0;
+  for (std::size_t i = 0; i < target.task_count(); ++i) {
+    const double p = model->predict(cp.features.row(i), mu, sd, 1.0);
+    if (labels[i] == 1) {
+      mean_strag += p;
+      ++n_strag;
+    } else {
+      mean_non += p;
+      ++n_non;
+    }
+  }
+  EXPECT_GT(mean_strag / static_cast<double>(n_strag),
+            mean_non / static_cast<double>(n_non));
+}
+
+TEST(TransferModel, UnfittedPredictThrows) {
+  TransferModel model;
+  const std::vector<double> row(15, 0.0), mu(15, 0.0), sd(15, 1.0);
+  EXPECT_THROW(model.predict(row, mu, sd, 1.0), std::invalid_argument);
+}
+
+TEST(TransferNurd, LambdaGrowsWithFinishedSet) {
+  TransferNurdPredictor p(fitted_model());
+  EXPECT_LT(p.lambda(10), p.lambda(100));
+  EXPECT_NEAR(p.lambda(50), 0.5, 1e-12);  // blend_halfway default = 50
+  EXPECT_GT(p.lambda(1000), 0.95);
+}
+
+TEST(TransferNurd, RunsOverAJob) {
+  const auto target = source_jobs(1, 601)[0];
+  TransferNurdPredictor p(fitted_model());
+  const auto run = eval::run_job(target, p);
+  EXPECT_EQ(run.final.tp + run.final.fp + run.final.fn + run.final.tn,
+            target.task_count());
+  EXPECT_EQ(p.name(), "NURD-TL");
+}
+
+TEST(TransferNurd, CompetitiveWithVanillaNurd) {
+  // The pooled warm start must not wreck accuracy on full jobs (its value
+  // shows at small initial training sets; here we just guard against harm).
+  const auto targets = source_jobs(6, 602);
+  const auto model = fitted_model();
+  double f1_tl = 0.0, f1_base = 0.0;
+  for (const auto& job : targets) {
+    TransferNurdParams tp;
+    tp.nurd.alpha = 0.25;
+    TransferNurdPredictor tl(model, tp);
+    auto run = eval::run_job(job, tl);
+    f1_tl += run.final.f1();
+    NurdParams np;
+    np.alpha = 0.25;
+    NurdPredictor base(np);
+    run = eval::run_job(job, base);
+    f1_base += run.final.f1();
+  }
+  EXPECT_GT(f1_tl, 0.6 * f1_base);
+}
+
+TEST(TransferNurd, RejectsUnfittedModel) {
+  auto unfitted = std::make_shared<TransferModel>();
+  EXPECT_THROW(TransferNurdPredictor{unfitted}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nurd::core
