@@ -5,15 +5,16 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "common/matrix.h"
 #include "common/stats.h"
 
 namespace nurd {
 
-Histogram::Histogram(std::span<const double> values, std::size_t bins) {
-  NURD_CHECK(!values.empty(), "histogram of empty sample");
-  NURD_CHECK(bins > 0, "histogram needs at least one bin");
-  lo_ = min_value(values);
-  hi_ = max_value(values);
+template <typename Range>
+void Histogram::init(const Range& values, std::size_t bins) {
+  const auto [mn, mx] = std::minmax_element(values.begin(), values.end());
+  lo_ = *mn;
+  hi_ = *mx;
   n_ = values.size();
   if (hi_ - lo_ <= 0.0) {
     counts_.assign(1, n_);
@@ -24,6 +25,19 @@ Histogram::Histogram(std::span<const double> values, std::size_t bins) {
   counts_.assign(bins, 0);
   width_ = (hi_ - lo_) / static_cast<double>(bins);
   for (double v : values) ++counts_[bin_of(v)];
+}
+
+Histogram::Histogram(std::span<const double> values, std::size_t bins) {
+  NURD_CHECK(!values.empty(), "histogram of empty sample");
+  NURD_CHECK(bins > 0, "histogram needs at least one bin");
+  init(values, bins);
+}
+
+Histogram::Histogram(const Matrix& x, std::size_t column, std::size_t bins) {
+  const ColView values = x.col_view(column);
+  NURD_CHECK(!values.empty(), "histogram of empty sample");
+  NURD_CHECK(bins > 0, "histogram needs at least one bin");
+  init(values, bins);
 }
 
 std::size_t Histogram::bin_of(double value) const {

@@ -9,6 +9,8 @@
 
 namespace nurd {
 
+class Matrix;
+
 /// Equal-width histogram with optional Laplace-style smoothing for density
 /// queries on empty bins.
 class Histogram {
@@ -16,6 +18,9 @@ class Histogram {
   /// Builds a histogram with `bins` equal-width bins spanning [min, max] of
   /// the data. Degenerate (constant) data collapses to a single bin.
   Histogram(std::span<const double> values, std::size_t bins);
+
+  /// Same, over column `column` of `x` via a zero-copy strided view.
+  Histogram(const Matrix& x, std::size_t column, std::size_t bins);
 
   std::size_t bin_count() const { return counts_.size(); }
   double lo() const { return lo_; }
@@ -37,6 +42,11 @@ class Histogram {
   std::string ascii(std::size_t max_width = 60) const;
 
  private:
+  /// Shared construction over any indexable range; counts via bin_of so
+  /// build-time and query-time binning can never diverge.
+  template <typename Range>
+  void init(const Range& values, std::size_t bins);
+
   double lo_ = 0.0;
   double hi_ = 1.0;
   double width_ = 1.0;

@@ -30,20 +30,39 @@ std::vector<double> Matrix::col(std::size_t c) const {
   return out;
 }
 
+ColView Matrix::col_view(std::size_t c) const {
+  NURD_CHECK(c < cols_, "column index out of range");
+  return {data_.data() + c, rows_, cols_};
+}
+
 void Matrix::push_row(std::span<const double> values) {
-  if (rows_ == 0 && cols_ == 0) cols_ = values.size();
+  if (rows_ == 0 && cols_ == 0) {
+    cols_ = values.size();
+    if (row_reserve_hint_ > 0) {
+      data_.reserve(row_reserve_hint_ * cols_);
+      row_reserve_hint_ = 0;
+    }
+  }
   NURD_CHECK(values.size() == cols_, "row length mismatch");
   data_.insert(data_.end(), values.begin(), values.end());
   ++rows_;
 }
 
+void Matrix::reserve_rows(std::size_t n) {
+  if (cols_ == 0) {
+    row_reserve_hint_ = n;
+    return;
+  }
+  data_.reserve(n * cols_);
+}
+
 Matrix Matrix::select_rows(std::span<const std::size_t> indices) const {
-  Matrix out(indices.size(), cols_);
-  for (std::size_t i = 0; i < indices.size(); ++i) {
-    NURD_CHECK(indices[i] < rows_, "row index out of range");
-    auto src = row(indices[i]);
-    auto dst = out.row(i);
-    std::copy(src.begin(), src.end(), dst.begin());
+  Matrix out;
+  out.cols_ = cols_;
+  out.reserve_rows(indices.size());
+  for (const auto idx : indices) {
+    NURD_CHECK(idx < rows_, "row index out of range");
+    out.push_row(row(idx));
   }
   return out;
 }

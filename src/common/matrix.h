@@ -5,10 +5,84 @@
 
 #include <cstddef>
 #include <initializer_list>
+#include <iterator>
 #include <span>
 #include <vector>
 
 namespace nurd {
+
+/// Read-only strided view of one matrix column. Unlike Matrix::col it does
+/// not copy: indexing strides through the row-major storage. Valid only
+/// while the owning Matrix is alive and un-resized.
+class ColView {
+ public:
+  ColView() = default;
+  ColView(const double* base, std::size_t size, std::size_t stride)
+      : base_(base), size_(size), stride_(stride) {}
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  double operator[](std::size_t i) const { return base_[i * stride_]; }
+
+  /// Random-access iterator so ColView works with std:: algorithms. The
+  /// elements are lvalues in the owning Matrix, so reference is a genuine
+  /// const double& (required of a conforming forward iterator).
+  class iterator {
+   public:
+    using iterator_category = std::random_access_iterator_tag;
+    using value_type = double;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const double*;
+    using reference = const double&;
+
+    iterator() = default;
+    iterator(const double* p, std::size_t stride) : p_(p), stride_(stride) {}
+
+    reference operator*() const { return *p_; }
+    reference operator[](difference_type n) const {
+      return p_[n * static_cast<difference_type>(stride_)];
+    }
+    iterator& operator++() { p_ += stride_; return *this; }
+    iterator operator++(int) { auto t = *this; ++*this; return t; }
+    iterator& operator--() { p_ -= stride_; return *this; }
+    iterator operator--(int) { auto t = *this; --*this; return t; }
+    iterator& operator+=(difference_type n) {
+      p_ += n * static_cast<difference_type>(stride_);
+      return *this;
+    }
+    iterator& operator-=(difference_type n) { return *this += -n; }
+    friend iterator operator+(iterator it, difference_type n) {
+      return it += n;
+    }
+    friend iterator operator+(difference_type n, iterator it) {
+      return it += n;
+    }
+    friend iterator operator-(iterator it, difference_type n) {
+      return it -= n;
+    }
+    friend difference_type operator-(const iterator& a, const iterator& b) {
+      return (a.p_ - b.p_) / static_cast<difference_type>(a.stride_);
+    }
+    friend bool operator==(const iterator& a, const iterator& b) {
+      return a.p_ == b.p_;
+    }
+    friend auto operator<=>(const iterator& a, const iterator& b) {
+      return a.p_ <=> b.p_;
+    }
+
+   private:
+    const double* p_ = nullptr;
+    std::size_t stride_ = 1;
+  };
+
+  iterator begin() const { return {base_, stride_}; }
+  iterator end() const { return {base_ + size_ * stride_, stride_}; }
+
+ private:
+  const double* base_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t stride_ = 1;
+};
 
 /// Dense row-major matrix of doubles. Rows are samples, columns features.
 class Matrix {
@@ -51,9 +125,18 @@ class Matrix {
   /// Copies column `c` into a new vector (length rows()).
   std::vector<double> col(std::size_t c) const;
 
+  /// Zero-copy strided view of column `c` (length rows()). Invalidated by
+  /// push_row and any other resizing operation.
+  ColView col_view(std::size_t c) const;
+
   /// Appends a row. `values.size()` must equal cols() (or the matrix must be
   /// empty, in which case cols() is set from the first row).
   void push_row(std::span<const double> values);
+
+  /// Reserves capacity for `n` rows of upcoming push_row calls. On a matrix
+  /// whose width is not yet known the hint is remembered and applied when
+  /// the first row fixes cols().
+  void reserve_rows(std::size_t n);
 
   /// Returns a new matrix containing the rows listed in `indices`, in order.
   Matrix select_rows(std::span<const std::size_t> indices) const;
@@ -71,6 +154,7 @@ class Matrix {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
+  std::size_t row_reserve_hint_ = 0;
   std::vector<double> data_;
 };
 

@@ -1,0 +1,135 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+
+namespace nurd {
+
+namespace {
+// True while this thread is executing a parallel_for task (worker or
+// participating caller); nested parallel_for calls then degrade to serial.
+thread_local bool g_in_pool_task = false;
+}  // namespace
+
+// Shared by the caller and every enqueued worker share of one parallel_for.
+// Indices are claimed through a single atomic counter, so each index runs
+// exactly once no matter how many shares end up executing.
+struct ThreadPool::LoopState {
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::atomic<bool> failed{false};
+  std::size_t count = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::exception_ptr error;  // written under mutex, read after the loop drains
+};
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::run_share(const std::shared_ptr<LoopState>& state) {
+  const bool was_in_task = g_in_pool_task;
+  g_in_pool_task = true;
+  for (;;) {
+    const std::size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= state->count) break;
+    if (!state->failed.load(std::memory_order_relaxed)) {
+      try {
+        (*state->fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        if (!state->error) state->error = std::current_exception();
+        state->failed.store(true, std::memory_order_relaxed);
+      }
+    }
+    if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        state->count) {
+      // Last index finished: wake the caller (it may be sleeping on cv).
+      std::lock_guard<std::mutex> lock(state->mutex);
+      state->cv.notify_all();
+    }
+  }
+  g_in_pool_task = was_in_task;
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (workers_.empty() || count == 1 || g_in_pool_task) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  auto state = std::make_shared<LoopState>();
+  state->count = count;
+  state->fn = &fn;
+
+  // One share per worker (capped at the index count); the caller is the
+  // final share. A share that wakes up after the loop drained exits without
+  // touching fn, so stale queue entries are harmless.
+  const std::size_t shares = std::min(workers_.size(), count - 1);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t s = 0; s < shares; ++s) {
+      queue_.emplace_back([state] { run_share(state); });
+    }
+  }
+  if (shares == 1) {
+    cv_.notify_one();
+  } else {
+    cv_.notify_all();
+  }
+
+  run_share(state);
+  {
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->cv.wait(lock, [&] {
+      return state->done.load(std::memory_order_acquire) == count;
+    });
+  }
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+ThreadPool& ThreadPool::global() {
+  // Leaked intentionally: joining workers during static destruction can
+  // deadlock with other atexit handlers, and the OS reclaims the threads.
+  static ThreadPool* pool = [] {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return new ThreadPool(hw > 1 ? hw - 1 : 0);
+  }();
+  return *pool;
+}
+
+}  // namespace nurd

@@ -1,0 +1,72 @@
+// A small work-stealing-free thread pool built for deterministic data
+// parallelism. The library's two hot fan-outs — per-feature histogram
+// construction inside RegressionTree and per-job evaluation in the harness —
+// are index-parallel loops whose tasks write to disjoint slots, so the only
+// primitive needed is a blocking parallel_for.
+//
+// Determinism contract: parallel_for(count, fn) calls fn(i) exactly once for
+// every i in [0, count). Which thread runs which index is unspecified, but as
+// long as tasks only write to per-index state (the pattern used throughout
+// this library), results are bit-identical across pool sizes, including the
+// serial size-0 pool.
+//
+// The calling thread participates in the loop, so a pool with zero workers
+// degrades to a plain serial loop, and nested parallel_for calls from inside
+// a pool task can always make progress (the inner caller drains its own
+// indices) — no deadlock by construction.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nurd {
+
+class ThreadPool {
+ public:
+  /// Spawns exactly `workers` threads. Zero workers is valid: every
+  /// parallel_for then runs serially on the calling thread.
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (excluding participating callers).
+  std::size_t size() const { return workers_.size(); }
+
+  /// Runs fn(i) for every i in [0, count), blocking until all calls return.
+  /// The caller participates. The first exception thrown by any fn(i) is
+  /// rethrown on the caller after the loop drains.
+  ///
+  /// A parallel_for issued from inside another parallel_for's task runs
+  /// serially on the issuing thread: the outer loop already owns the
+  /// hardware, so nested fan-out would only oversubscribe it (e.g. harness
+  /// job lanes each containing pool-hungry histogram fits).
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide shared pool sized to the hardware: hardware_concurrency−1
+  /// workers (the caller supplies the remaining lane), so a single-core
+  /// machine gets a zero-worker pool and fully serial execution.
+  static ThreadPool& global();
+
+ private:
+  struct LoopState;
+
+  void worker_loop();
+  static void run_share(const std::shared_ptr<LoopState>& state);
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace nurd

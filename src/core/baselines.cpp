@@ -282,6 +282,7 @@ std::vector<std::size_t> WranglerPredictor::predict_stragglers(
 
   Matrix x(0, 0);
   std::vector<double> y, w;
+  x.reserve_rows(train_ids_.size());
   for (auto i : train_ids_) {
     x.push_row(cp.features.row(i));
     y.push_back(labels_[i]);

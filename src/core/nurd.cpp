@@ -68,6 +68,8 @@ NurdPredictor::CheckpointModels NurdPredictor::fit_models(
   if (!cp.running.empty()) {
     Matrix x_all(0, 0);
     std::vector<double> y_all;
+    x_all.reserve_rows(cp.finished.size() + cp.running.size());
+    y_all.reserve(cp.finished.size() + cp.running.size());
     for (auto i : cp.finished) {
       x_all.push_row(cp.features.row(i));
       y_all.push_back(1.0);

@@ -31,7 +31,12 @@ struct NurdParams {
   double alpha = 0.5;     ///< calibration range: δ ∈ (−α, α)
   double epsilon = 0.05;  ///< minimum positive weight ε
   bool calibrate = true;  ///< false ⇒ NURD-NC (w = z)
-  ml::GbtParams gbt;      ///< latency-model settings
+  /// Latency-model settings. The default SplitMethod::kAuto matters here:
+  /// Algorithm 1 refits ht at every checkpoint on the growing finished set,
+  /// so early (tiny) refits take the exact backend while late (large) ones
+  /// take the O(d·n) histogram backend — the dominant hot path of the whole
+  /// reproduction.
+  ml::GbtParams gbt;
   ml::LogisticParams propensity;  ///< PS-model settings
 };
 

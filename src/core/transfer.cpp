@@ -15,6 +15,10 @@ void TransferModel::fit(std::span<const trace::Job> jobs) {
   NURD_CHECK(!jobs.empty(), "transfer model needs source jobs");
   Matrix x(0, 0);
   std::vector<double> y;
+  std::size_t total_tasks = 0;
+  for (const auto& job : jobs) total_tasks += job.task_count();
+  x.reserve_rows(total_tasks);
+  y.reserve(total_tasks);
   for (const auto& job : jobs) {
     NURD_CHECK(!job.checkpoints.empty(), "source job has no checkpoints");
     // Use the final snapshot (fullest feature state) of every task.

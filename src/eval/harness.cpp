@@ -1,8 +1,10 @@
 #include "eval/harness.h"
 
 #include <algorithm>
+#include <thread>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace nurd::eval {
 
@@ -53,7 +55,8 @@ JobRunResult run_job(const trace::Job& job,
 }
 
 MethodResult evaluate_method(const core::NamedPredictor& method,
-                             std::span<const trace::Job> jobs, double pct) {
+                             std::span<const trace::Job> jobs, double pct,
+                             std::size_t threads) {
   NURD_CHECK(!jobs.empty(), "no jobs to evaluate");
   MethodResult out;
   out.name = method.name;
@@ -65,9 +68,10 @@ MethodResult evaluate_method(const core::NamedPredictor& method,
   out.f1_timeline.assign(timeline_len, 0.0);
   std::vector<std::size_t> timeline_counts(timeline_len, 0);
 
-  for (const auto& job : jobs) {
-    auto predictor = method.make();
-    const auto run = run_job(job, *predictor, pct);
+  // Runs fan out across jobs; the reduction below walks them in job order,
+  // so the sums are bit-identical for every thread count.
+  const auto runs = run_method(method, jobs, pct, threads);
+  for (const auto& run : runs) {
     out.tpr += run.final.tpr();
     out.fpr += run.final.fpr();
     out.fnr += run.final.fnr();
@@ -93,13 +97,24 @@ MethodResult evaluate_method(const core::NamedPredictor& method,
 
 std::vector<JobRunResult> run_method(const core::NamedPredictor& method,
                                      std::span<const trace::Job> jobs,
-                                     double pct) {
-  std::vector<JobRunResult> out;
-  out.reserve(jobs.size());
-  for (const auto& job : jobs) {
-    auto predictor = method.make();
-    out.push_back(run_job(job, *predictor, pct));
+                                     double pct, std::size_t threads) {
+  std::vector<JobRunResult> out(jobs.size());
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw > 0 ? hw : 1;
   }
+  const auto run_one = [&](std::size_t i) {
+    auto predictor = method.make();
+    out[i] = run_job(jobs[i], *predictor, pct);
+  };
+  if (threads <= 1 || jobs.size() <= 1) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) run_one(i);
+    return out;
+  }
+  // A pool of threads−1 workers plus the participating caller gives exactly
+  // `threads` lanes. Each job writes only its own slot; order-independent.
+  ThreadPool pool(std::min(threads, jobs.size()) - 1);
+  pool.parallel_for(jobs.size(), run_one);
   return out;
 }
 

@@ -49,14 +49,22 @@ struct MethodResult {
 };
 
 /// Evaluates one registry entry over all jobs (a fresh predictor per job).
+///
+/// Jobs are independent, so they fan out over `threads` pool lanes
+/// (0 = hardware concurrency, 1 = fully serial). Each job gets its own
+/// predictor instance and writes to its own result slot, and the final
+/// aggregation walks jobs in input order — metrics are bit-identical for
+/// every thread count.
 MethodResult evaluate_method(const core::NamedPredictor& method,
                              std::span<const trace::Job> jobs,
-                             double pct = 90.0);
+                             double pct = 90.0, std::size_t threads = 0);
 
 /// Per-job run results for one method (used by the scheduler benches, which
-/// need flag times rather than aggregate rates).
+/// need flag times rather than aggregate rates). Same parallelism and
+/// determinism contract as evaluate_method; results are in job order.
 std::vector<JobRunResult> run_method(const core::NamedPredictor& method,
                                      std::span<const trace::Job> jobs,
-                                     double pct = 90.0);
+                                     double pct = 90.0,
+                                     std::size_t threads = 0);
 
 }  // namespace nurd::eval

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <optional>
 
 #include "common/check.h"
 
@@ -48,6 +49,14 @@ void GradientBoosting::fit(const Matrix& x, std::span<const Target> targets) {
   std::vector<std::size_t> all_rows(n);
   std::iota(all_rows.begin(), all_rows.end(), std::size_t{0});
 
+  // Histogram backend: quantile-bin every feature ONCE per fit and share the
+  // binner across all rounds — per-round row subsamples index into it, so no
+  // tree ever re-sorts or re-bins.
+  std::optional<FeatureBinner> binner;
+  if (histogram_enabled(params_.tree, n)) {
+    binner.emplace(x, all_rows, params_.tree.max_bins);
+  }
+
   for (int round = 0; round < params_.n_rounds; ++round) {
     for (std::size_t i = 0; i < n; ++i) {
       const auto gh = loss_->grad_hess(targets[i], score[i]);
@@ -66,7 +75,11 @@ void GradientBoosting::fit(const Matrix& x, std::span<const Target> targets) {
     }
 
     RegressionTree tree;
-    tree.fit(x, grad, hess, rows, params_.tree, rng);
+    if (binner) {
+      tree.fit(x, *binner, grad, hess, rows, params_.tree, rng);
+    } else {
+      tree.fit(x, grad, hess, rows, params_.tree, rng);
+    }
 
     for (std::size_t i = 0; i < n; ++i) {
       score[i] += params_.learning_rate * tree.predict(x.row(i));

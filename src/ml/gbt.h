@@ -17,7 +17,10 @@
 
 namespace nurd::ml {
 
-/// Boosting hyperparameters (tree params embedded).
+/// Boosting hyperparameters (tree params embedded). The split backend,
+/// `tree.max_bins`, and the exact-mode fallback cutoff all live in `tree`;
+/// when the histogram backend is active, fit() quantile-bins every feature
+/// once and shares the binning across all boosting rounds.
 struct GbtParams {
   int n_rounds = 50;
   double learning_rate = 0.1;

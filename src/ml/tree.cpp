@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace nurd::ml {
 
@@ -15,13 +16,279 @@ struct SplitCandidate {
   double gain = -std::numeric_limits<double>::infinity();
   std::size_t feature = 0;
   double threshold = 0.0;
+  std::size_t bin = 0;  // histogram backend: split after this bin
 };
 
 double leaf_objective(double g, double h, double lambda) {
   return -0.5 * g * g / (h + lambda);
 }
 
+/// The feature subset scanned at one node (all features, or a colsample
+/// draw). Shared by both backends so they consume the Rng identically.
+std::vector<std::size_t> node_features(std::size_t d, const TreeParams& params,
+                                       Rng& rng) {
+  if (params.colsample >= 1.0) {
+    std::vector<std::size_t> features(d);
+    std::iota(features.begin(), features.end(), std::size_t{0});
+    return features;
+  }
+  const auto k = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::llround(params.colsample * static_cast<double>(d))));
+  return rng.sample_without_replacement(d, k);
+}
+
+/// Work is fanned out over the pool only when it dwarfs task overhead.
+constexpr std::size_t kParallelWorkCutoff = 8192;
+
+/// Quantile-sketch edges for one sorted value array: greedy bin packing at
+/// ~n/max_bins rows per bin, cutting only between distinct values. With at
+/// most `max_bins` distinct values every boundary gets an edge, making the
+/// candidate set identical to exact greedy's.
+std::vector<double> quantile_edges(const std::vector<double>& sorted,
+                                   int max_bins) {
+  std::vector<double> edges;
+  const std::size_t n = sorted.size();
+  if (n < 2) return edges;
+
+  std::size_t distinct = 1;
+  for (std::size_t i = 1; i < n; ++i) {
+    distinct += sorted[i] != sorted[i - 1] ? 1 : 0;
+  }
+
+  // Every distinct value fits in its own bin: cut at every boundary so the
+  // candidate set matches exact greedy's. This must not fall through to the
+  // frequency-weighted pass below, which would starve low-count values
+  // (e.g. a rare binary indicator) of their edge entirely.
+  if (distinct <= static_cast<std::size_t>(max_bins)) {
+    for (std::size_t i = 1; i < n; ++i) {
+      if (sorted[i] != sorted[i - 1]) {
+        edges.push_back(0.5 * (sorted[i - 1] + sorted[i]));
+      }
+    }
+    return edges;
+  }
+
+  // More distinct values than bins: greedy packing at ~n/max_bins rows per
+  // bin, cutting only between distinct values.
+  const double target =
+      static_cast<double>(n) / static_cast<double>(max_bins);
+  const auto max_edges = static_cast<std::size_t>(max_bins - 1);
+  double acc = 0.0;
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j < n && sorted[j] == sorted[i]) ++j;
+    acc += static_cast<double>(j - i);
+    if (j < n && edges.size() < max_edges && acc >= target) {
+      edges.push_back(0.5 * (sorted[i] + sorted[j]));
+      acc = 0.0;
+    }
+    i = j;
+  }
+  return edges;
+}
+
 }  // namespace
+
+bool histogram_enabled(const TreeParams& params, std::size_t n_rows) {
+  switch (params.split) {
+    case SplitMethod::kExact:
+      return false;
+    case SplitMethod::kHistogram:
+      return true;
+    case SplitMethod::kAuto:
+      return n_rows >= params.exact_cutoff;
+  }
+  return false;
+}
+
+FeatureBinner::FeatureBinner(const Matrix& x,
+                             std::span<const std::size_t> rows,
+                             int max_bins) {
+  NURD_CHECK(max_bins >= 2 && max_bins <= 4096,
+             "max_bins must be in [2, 4096]");
+  NURD_CHECK(!rows.empty(), "cannot bin from zero rows");
+  n_rows_ = x.rows();
+  n_cols_ = x.cols();
+  edges_.resize(n_cols_);
+  bins_.resize(n_cols_ * n_rows_);
+
+  const auto bin_feature = [&](std::size_t f) {
+    const auto col = x.col_view(f);
+    std::vector<double> vals;
+    vals.reserve(rows.size());
+    for (const auto r : rows) vals.push_back(col[r]);
+    std::sort(vals.begin(), vals.end());
+    edges_[f] = quantile_edges(vals, max_bins);
+
+    const auto& edges = edges_[f];
+    auto* out = bins_.data() + f * n_rows_;
+    for (std::size_t r = 0; r < n_rows_; ++r) {
+      // Bin = index of the first edge ≥ value, so x ≤ edge(b) ⟺ bin ≤ b.
+      const auto it =
+          std::lower_bound(edges.begin(), edges.end(), col[r]);
+      out[r] = static_cast<std::uint16_t>(it - edges.begin());
+    }
+  };
+
+  if (n_rows_ * n_cols_ >= kParallelWorkCutoff) {
+    ThreadPool::global().parallel_for(n_cols_, bin_feature);
+  } else {
+    for (std::size_t f = 0; f < n_cols_; ++f) bin_feature(f);
+  }
+}
+
+// Histogram-backend fit state. Histograms are flat double arrays with three
+// slots per bin — (G, H, count) — so sibling subtraction is one vectorizable
+// loop. offset[f]*3 locates feature f's bins.
+struct RegressionTree::HistContext {
+  const FeatureBinner& binner;
+  std::span<const double> grad;
+  std::span<const double> hess;
+  const TreeParams& params;
+  Rng& rng;
+  std::vector<std::size_t> offset;  // per-feature bin offset; back() = total
+};
+
+std::int32_t RegressionTree::build_hist(HistContext& ctx,
+                                        std::vector<std::size_t>& rows,
+                                        int depth,
+                                        std::vector<double>&& hist) {
+  const auto& params = ctx.params;
+  double g_total = 0.0, h_total = 0.0;
+  for (const auto r : rows) {
+    g_total += ctx.grad[r];
+    h_total += ctx.hess[r];
+  }
+
+  const auto make_leaf = [&]() -> std::int32_t {
+    Node leaf;
+    leaf.is_leaf = true;
+    leaf.value = -g_total / (h_total + params.lambda);
+    leaf.depth = depth;
+    nodes_.push_back(leaf);
+    return static_cast<std::int32_t>(nodes_.size() - 1);
+  };
+
+  if (depth >= params.max_depth || rows.size() < 2) return make_leaf();
+
+  const FeatureBinner& binner = ctx.binner;
+  const std::size_t d = binner.cols();
+  const auto features = node_features(d, params, ctx.rng);
+
+  if (hist.empty()) hist = compute_histogram(ctx, rows);
+
+  const double parent_obj = leaf_objective(g_total, h_total, params.lambda);
+  const double n_node = static_cast<double>(rows.size());
+  SplitCandidate best;
+
+  for (const auto f : features) {
+    const std::size_t nb = binner.bin_count(f);
+    if (nb < 2) continue;  // constant feature
+    const double* bins = hist.data() + ctx.offset[f] * 3;
+    double g_left = 0.0, h_left = 0.0, n_left = 0.0;
+    for (std::size_t b = 0; b + 1 < nb; ++b) {
+      g_left += bins[b * 3];
+      h_left += bins[b * 3 + 1];
+      n_left += bins[b * 3 + 2];
+      if (n_left == 0.0) continue;        // empty prefix: same as no split
+      if (n_left == n_node) break;        // empty suffix: no more candidates
+      const double g_right = g_total - g_left;
+      const double h_right = h_total - h_left;
+      if (h_left < params.min_child_weight ||
+          h_right < params.min_child_weight) {
+        continue;
+      }
+      const double gain = parent_obj -
+                          leaf_objective(g_left, h_left, params.lambda) -
+                          leaf_objective(g_right, h_right, params.lambda);
+      if (gain > best.gain) {
+        best.gain = gain;
+        best.feature = f;
+        best.threshold = binner.edge(f, b);
+        best.bin = b;
+      }
+    }
+  }
+
+  if (best.gain <= params.gamma) return make_leaf();
+
+  std::vector<std::size_t> left_rows, right_rows;
+  left_rows.reserve(rows.size());
+  right_rows.reserve(rows.size());
+  for (const auto r : rows) {
+    (binner.bin(best.feature, r) <= best.bin ? left_rows : right_rows)
+        .push_back(r);
+  }
+  if (left_rows.empty() || right_rows.empty()) return make_leaf();
+
+  // Reserve this node's slot before recursing so children land after it.
+  Node node;
+  node.is_leaf = false;
+  node.feature = best.feature;
+  node.threshold = best.threshold;
+  node.depth = depth;
+  nodes_.push_back(node);
+  const auto self = static_cast<std::int32_t>(nodes_.size() - 1);
+
+  std::vector<double> left_hist, right_hist;
+  if (depth + 1 < params.max_depth) {
+    // Sibling subtraction: accumulate only the smaller child; the larger
+    // child's histogram is parent − smaller, reusing the parent's storage.
+    const bool left_small = left_rows.size() <= right_rows.size();
+    auto& small_rows = left_small ? left_rows : right_rows;
+    std::vector<double> small_hist = compute_histogram(ctx, small_rows);
+    for (std::size_t k = 0; k < hist.size(); ++k) hist[k] -= small_hist[k];
+    if (left_small) {
+      left_hist = std::move(small_hist);
+      right_hist = std::move(hist);
+    } else {
+      right_hist = std::move(small_hist);
+      left_hist = std::move(hist);
+    }
+  }
+  hist.clear();
+  hist.shrink_to_fit();
+
+  const auto left = build_hist(ctx, left_rows, depth + 1,
+                               std::move(left_hist));
+  const auto right = build_hist(ctx, right_rows, depth + 1,
+                                std::move(right_hist));
+  nodes_[static_cast<std::size_t>(self)].left = left;
+  nodes_[static_cast<std::size_t>(self)].right = right;
+  return self;
+}
+
+// Accumulates the (G, H, count) histogram of `rows` for every feature,
+// fanning features out over the shared pool when the node is large. Each
+// feature writes a disjoint range and accumulates in row order, so the
+// result is bit-identical for any pool size.
+std::vector<double> RegressionTree::compute_histogram(
+    const HistContext& ctx, const std::vector<std::size_t>& rows) {
+  const FeatureBinner& binner = ctx.binner;
+  const std::size_t d = binner.cols();
+  std::vector<double> hist(ctx.offset.back() * 3, 0.0);
+
+  const auto accumulate_feature = [&](std::size_t f) {
+    double* bins = hist.data() + ctx.offset[f] * 3;
+    const auto grad = ctx.grad;
+    const auto hess = ctx.hess;
+    for (const auto r : rows) {
+      const std::size_t b = binner.bin(f, r);
+      bins[b * 3] += grad[r];
+      bins[b * 3 + 1] += hess[r];
+      bins[b * 3 + 2] += 1.0;
+    }
+  };
+
+  if (rows.size() * d >= kParallelWorkCutoff) {
+    ThreadPool::global().parallel_for(d, accumulate_feature);
+  } else {
+    for (std::size_t f = 0; f < d; ++f) accumulate_feature(f);
+  }
+  return hist;
+}
 
 void RegressionTree::fit(const Matrix& x, std::span<const double> grad,
                          std::span<const double> hess,
@@ -30,9 +297,35 @@ void RegressionTree::fit(const Matrix& x, std::span<const double> grad,
   NURD_CHECK(grad.size() == x.rows() && hess.size() == x.rows(),
              "grad/hess length must match row count");
   NURD_CHECK(!rows.empty(), "cannot fit a tree on zero rows");
+  if (histogram_enabled(params, rows.size())) {
+    const FeatureBinner binner(x, rows, params.max_bins);
+    fit(x, binner, grad, hess, rows, params, rng);
+    return;
+  }
   nodes_.clear();
   std::vector<std::size_t> work(rows.begin(), rows.end());
   build(x, grad, hess, work, 0, params, rng);
+}
+
+void RegressionTree::fit(const Matrix& x, const FeatureBinner& binner,
+                         std::span<const double> grad,
+                         std::span<const double> hess,
+                         std::span<const std::size_t> rows,
+                         const TreeParams& params, Rng& rng) {
+  NURD_CHECK(grad.size() == x.rows() && hess.size() == x.rows(),
+             "grad/hess length must match row count");
+  NURD_CHECK(!rows.empty(), "cannot fit a tree on zero rows");
+  NURD_CHECK(binner.rows() == x.rows() && binner.cols() == x.cols(),
+             "binner shape must match the feature matrix");
+  nodes_.clear();
+  std::vector<std::size_t> work(rows.begin(), rows.end());
+
+  HistContext ctx{binner, grad, hess, params, rng, {}};
+  ctx.offset.resize(binner.cols() + 1, 0);
+  for (std::size_t f = 0; f < binner.cols(); ++f) {
+    ctx.offset[f + 1] = ctx.offset[f] + binner.bin_count(f);
+  }
+  build_hist(ctx, work, 0, {});
 }
 
 std::int32_t RegressionTree::build(const Matrix& x,
@@ -57,19 +350,7 @@ std::int32_t RegressionTree::build(const Matrix& x,
 
   if (depth >= params.max_depth || rows.size() < 2) return make_leaf();
 
-  // Choose the feature subset for this node.
-  const std::size_t d = x.cols();
-  std::vector<std::size_t> features;
-  if (params.colsample >= 1.0) {
-    features.resize(d);
-    std::iota(features.begin(), features.end(), std::size_t{0});
-  } else {
-    const auto k = std::max<std::size_t>(
-        1, static_cast<std::size_t>(std::llround(
-               params.colsample * static_cast<double>(d))));
-    features = rng.sample_without_replacement(d, k);
-  }
-
+  const auto features = node_features(x.cols(), params, rng);
   const double parent_obj = leaf_objective(g_total, h_total, params.lambda);
   SplitCandidate best;
 

@@ -3,11 +3,21 @@
 // XGBoost formulation (Chen & Guestrin 2016):
 //   leaf value  w* = −G / (H + λ)
 //   split gain  ½[G_L²/(H_L+λ) + G_R²/(H_R+λ) − G²/(H+λ)] − γ
-// Exact greedy splits over sorted feature values; no histogram binning is
-// needed at this library's data scale (n ≲ 10⁴ per fit).
+//
+// Two split-finding backends share that formulation:
+//   * exact greedy — sorts the node's rows per feature and scans every
+//     distinct-value boundary; O(d · n log n) per node, best for tiny fits;
+//   * histogram (LightGBM-style) — quantile-bins each feature once per fit,
+//     accumulates per-bin (G, H) sums per node, and scans bin boundaries;
+//     O(d · n) per tree level, with the sibling-subtraction trick (child
+//     histogram = parent − other child) halving construction cost. Per-
+//     feature histogram builds fan out over the shared ThreadPool.
+// Both backends are deterministic: identical inputs and Rng state produce a
+// bit-identical tree regardless of thread count.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -16,6 +26,13 @@
 
 namespace nurd::ml {
 
+/// Split-finding backend selection.
+enum class SplitMethod {
+  kAuto,       ///< histogram when the fit has ≥ exact_cutoff rows, else exact
+  kExact,      ///< always exact greedy
+  kHistogram,  ///< always histogram
+};
+
 /// Tree growth hyperparameters.
 struct TreeParams {
   int max_depth = 3;
@@ -23,6 +40,48 @@ struct TreeParams {
   double lambda = 1.0;            ///< L2 regularization on leaf values
   double gamma = 0.0;             ///< minimum gain to split
   double colsample = 1.0;         ///< fraction of features tried per node
+  SplitMethod split = SplitMethod::kAuto;
+  int max_bins = 64;              ///< histogram bins per feature (2..4096)
+  std::size_t exact_cutoff = 256; ///< kAuto: rows below this use exact
+};
+
+/// True when `params` select the histogram backend for an `n_rows` fit.
+bool histogram_enabled(const TreeParams& params, std::size_t n_rows);
+
+/// Quantile-sketch feature binning, built once per boosting fit and shared
+/// by every tree of the ensemble. Bin edges are placed at (deduplicated)
+/// quantiles of the training rows — midpoints between adjacent distinct
+/// values, so that with fewer distinct values than bins the candidate split
+/// set is identical to exact greedy's. Every row of `x` is binned (not just
+/// the edge-defining subset), so per-round row subsamples need no rebinning.
+class FeatureBinner {
+ public:
+  FeatureBinner() = default;
+
+  /// Computes per-feature bin edges from the `rows` subset of `x`, then bins
+  /// all rows of `x`. `max_bins` must be in [2, 4096].
+  FeatureBinner(const Matrix& x, std::span<const std::size_t> rows,
+                int max_bins);
+
+  std::size_t rows() const { return n_rows_; }
+  std::size_t cols() const { return n_cols_; }
+
+  /// Number of bins for feature `f` (1 for a constant feature).
+  std::size_t bin_count(std::size_t f) const { return edges_[f].size() + 1; }
+
+  /// Bin index of row `r` for feature `f`.
+  std::uint16_t bin(std::size_t f, std::size_t r) const {
+    return bins_[f * n_rows_ + r];
+  }
+
+  /// Split threshold after bin `b`: x ≤ edge(f, b) ⟺ bin(f, x) ≤ b.
+  double edge(std::size_t f, std::size_t b) const { return edges_[f][b]; }
+
+ private:
+  std::size_t n_rows_ = 0;
+  std::size_t n_cols_ = 0;
+  std::vector<std::vector<double>> edges_;  ///< ascending, per feature
+  std::vector<std::uint16_t> bins_;         ///< column-major [f·rows + r]
 };
 
 /// A fitted regression tree. Nodes are stored in a flat array; leaves carry
@@ -30,10 +89,18 @@ struct TreeParams {
 class RegressionTree {
  public:
   /// Grows a tree on the sample subset `rows` of `x`, using per-sample
-  /// gradients and Hessians. `rng` drives column subsampling only.
+  /// gradients and Hessians. `rng` drives column subsampling only. The
+  /// backend follows `params.split`; histogram mode bins internally.
   void fit(const Matrix& x, std::span<const double> grad,
            std::span<const double> hess, std::span<const std::size_t> rows,
            const TreeParams& params, Rng& rng);
+
+  /// Histogram-backend fit reusing a binner built once per boosting fit.
+  /// `binner` must cover all rows of `x`.
+  void fit(const Matrix& x, const FeatureBinner& binner,
+           std::span<const double> grad, std::span<const double> hess,
+           std::span<const std::size_t> rows, const TreeParams& params,
+           Rng& rng);
 
   /// Leaf value for a single feature row.
   double predict(std::span<const double> row) const;
@@ -58,10 +125,18 @@ class RegressionTree {
     std::int32_t depth = 0;
   };
 
+  struct HistContext;  // histogram-backend fit state (tree.cpp)
+
   std::int32_t build(const Matrix& x, std::span<const double> grad,
                      std::span<const double> hess,
                      std::vector<std::size_t>& rows, int depth,
                      const TreeParams& params, Rng& rng);
+
+  std::int32_t build_hist(HistContext& ctx, std::vector<std::size_t>& rows,
+                          int depth, std::vector<double>&& hist);
+
+  static std::vector<double> compute_histogram(
+      const HistContext& ctx, const std::vector<std::size_t>& rows);
 
   std::vector<Node> nodes_;
 };

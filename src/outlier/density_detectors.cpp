@@ -16,8 +16,8 @@ void HbosDetector::fit(const Matrix& x) {
   const std::size_t d = x.cols();
   scores_.assign(n, 0.0);
   for (std::size_t f = 0; f < d; ++f) {
-    const auto col = x.col(f);
-    const Histogram hist(col, bins_);
+    const auto col = x.col_view(f);
+    const Histogram hist(x, f, bins_);
     for (std::size_t i = 0; i < n; ++i) {
       scores_[i] += -std::log(hist.density(col[i]));
     }

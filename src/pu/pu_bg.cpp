@@ -34,6 +34,8 @@ void PuBaggingSvm::fit(const Matrix& labeled, const Matrix& unlabeled) {
     // Train labeled(0) vs bootstrap-unlabeled(1).
     Matrix x(0, 0);
     std::vector<double> y;
+    x.reserve_rows(labeled.rows() + boot.size());
+    y.reserve(labeled.rows() + boot.size());
     for (std::size_t i = 0; i < labeled.rows(); ++i) {
       x.push_row(labeled.row(i));
       y.push_back(0.0);

@@ -33,6 +33,8 @@ void PuElkanNoto::fit(const Matrix& labeled, const Matrix& unlabeled) {
 
   Matrix x(0, 0);
   std::vector<double> y;
+  x.reserve_rows(train_lab.size() + unlabeled.rows());
+  y.reserve(train_lab.size() + unlabeled.rows());
   for (auto i : train_lab) {
     x.push_row(labeled.row(i));
     y.push_back(1.0);
