@@ -113,7 +113,8 @@ int main(int argc, char** argv) {
     std::vector<double> far_rho, near_rho;
     for (const auto& job : jobs) {
       core::NurdPredictor p(base);
-      p.initialize(job, job.straggler_threshold());
+      // ρ is a property of the first checkpoint's centroids alone.
+      p.calibrate(job.checkpoint(0));
       (job.id.starts_with("far") ? far_rho : near_rho).push_back(p.rho());
     }
     TextTable t({"regime", "jobs", "median rho"});

@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
 
   for (const auto dataset : datasets) {
     const auto jobs = bench::make_jobs(dataset, n_jobs);
-    const std::size_t T = jobs.front().checkpoints.size();
+    const std::size_t T = jobs.front().checkpoint_count();
 
     std::cout << "=== Figure " << (dataset == bench::Dataset::kGoogle ? 2 : 3)
               << " — F1 vs normalized time, " << bench::dataset_name(dataset)

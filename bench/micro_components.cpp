@@ -109,12 +109,14 @@ void BM_NurdCheckpoint(benchmark::State& state) {
   config.max_tasks = config.min_tasks;
   trace::GoogleLikeGenerator gen(config);
   const auto job = gen.generate_job(0, true);
-  const double tau = job.straggler_threshold();
+  const core::JobContext ctx =
+      eval::make_job_context(job, job.straggler_threshold());
+  const auto view = job.checkpoint(2);
   for (auto _ : state) {
     core::NurdPredictor nurd;
-    nurd.initialize(job, tau);
+    nurd.initialize(ctx);
     benchmark::DoNotOptimize(
-        nurd.predict_stragglers(job, 2, job.checkpoints[2].running));
+        nurd.predict_stragglers(view, job.trace.running(2)));
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }

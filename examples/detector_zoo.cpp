@@ -30,13 +30,15 @@ int main(int argc, char** argv) {
   trace::GoogleLikeGenerator generator(config);
   const auto job = generator.generate_job(3, /*far_tail=*/true);
   const auto labels = job.straggler_labels();
-  const auto& cp = job.checkpoints[4];  // mid-execution snapshot
+  const auto view = job.checkpoint(4);  // mid-execution snapshot
+  const Matrix features = job.trace.materialize(4);
 
   std::size_t n_stragglers = 0;
   for (int l : labels) n_stragglers += static_cast<std::size_t>(l);
   std::cout << "job " << job.id << ", checkpoint 5/10: "
-            << cp.finished.size() << " finished / " << cp.running.size()
-            << " running, " << n_stragglers << " true stragglers\n\n";
+            << view.finished().size() << " finished / "
+            << view.running().size() << " running, " << n_stragglers
+            << " true stragglers\n\n";
 
   std::vector<std::unique_ptr<outlier::Detector>> zoo;
   zoo.push_back(std::make_unique<outlier::AbodDetector>());
@@ -56,7 +58,7 @@ int main(int argc, char** argv) {
   TextTable table({"Detector", "flagged", "true stragglers among flagged",
                    "precision"});
   for (auto& det : zoo) {
-    det->fit(cp.features);
+    det->fit(features);
     const auto flags = outlier::labels_from_scores(det->scores(), 0.1);
     std::size_t flagged = 0, hits = 0;
     for (std::size_t i = 0; i < flags.size(); ++i) {

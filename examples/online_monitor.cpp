@@ -31,7 +31,10 @@ int main(int argc, char** argv) {
   core::NurdParams params;
   params.alpha = 0.25;
   core::NurdPredictor nurd(params);
-  nurd.initialize(job, tau);
+  nurd.initialize(eval::make_job_context(job, tau));
+  // The dashboard's calibration readout appears once the first checkpoint
+  // has been observed.
+  nurd.calibrate(job.checkpoint(0));
   std::cout << "calibration: rho=" << TextTable::num(nurd.rho(), 3)
             << " (" << (nurd.rho() <= 1.0 ? "far-tail regime" : "near-tail regime")
             << "), delta=" << TextTable::num(nurd.delta(), 3) << "\n\n";
@@ -40,13 +43,13 @@ int main(int argc, char** argv) {
   std::size_t tp = 0, fp = 0;
   TextTable table({"checkpoint", "elapsed(s)", "finished", "running",
                    "new flags", "correct", "cum TP", "cum FP"});
-  for (std::size_t t = 0; t < job.checkpoints.size(); ++t) {
-    const auto& cp = job.checkpoints[t];
+  for (std::size_t t = 0; t < job.checkpoint_count(); ++t) {
+    const auto view = job.checkpoint(t);
     std::vector<std::size_t> candidates;
-    for (auto i : cp.running) {
+    for (auto i : view.running()) {
       if (!flagged[i]) candidates.push_back(i);
     }
-    const auto flags = nurd.predict_stragglers(job, t, candidates);
+    const auto flags = nurd.predict_stragglers(view, candidates);
     std::size_t correct = 0;
     for (auto i : flags) {
       flagged[i] = true;
@@ -57,9 +60,9 @@ int main(int argc, char** argv) {
         ++fp;
       }
     }
-    table.add_row({std::to_string(t + 1), TextTable::num(cp.tau_run, 0),
-                   std::to_string(cp.finished.size()),
-                   std::to_string(cp.running.size()),
+    table.add_row({std::to_string(t + 1), TextTable::num(view.tau_run(), 0),
+                   std::to_string(view.finished().size()),
+                   std::to_string(view.running().size()),
                    std::to_string(flags.size()), std::to_string(correct),
                    std::to_string(tp), std::to_string(fp)});
   }

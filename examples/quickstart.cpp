@@ -36,10 +36,10 @@ int main(int argc, char** argv) {
               << TextTable::num(nurd.delta(), 2) << "\n";
 
     TextTable table({"checkpoint", "tau_run", "TP", "FP", "FN", "F1"});
-    for (std::size_t t = 0; t < job.checkpoints.size(); ++t) {
+    for (std::size_t t = 0; t < job.checkpoint_count(); ++t) {
       const auto& c = run.per_checkpoint[t];
       table.add_row({std::to_string(t + 1),
-                     TextTable::num(job.checkpoints[t].tau_run, 1),
+                     TextTable::num(job.trace.tau_run(t), 1),
                      std::to_string(c.tp), std::to_string(c.fp),
                      std::to_string(c.fn), TextTable::num(c.f1(), 3)});
     }

@@ -48,6 +48,13 @@ void Matrix::push_row(std::span<const double> values) {
   ++rows_;
 }
 
+void Matrix::reset(std::size_t cols) {
+  rows_ = 0;
+  cols_ = cols;
+  row_reserve_hint_ = 0;
+  data_.clear();
+}
+
 void Matrix::reserve_rows(std::size_t n) {
   if (cols_ == 0) {
     row_reserve_hint_ = n;

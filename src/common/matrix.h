@@ -138,6 +138,11 @@ class Matrix {
   /// the first row fixes cols().
   void reserve_rows(std::size_t n);
 
+  /// Empties the matrix to 0×`cols` while KEEPING the allocated capacity —
+  /// the scratch-buffer idiom: gather loops that run once per checkpoint
+  /// reset and refill the same matrix instead of allocating a fresh one.
+  void reset(std::size_t cols);
+
   /// Returns a new matrix containing the rows listed in `indices`, in order.
   Matrix select_rows(std::span<const std::size_t> indices) const;
 

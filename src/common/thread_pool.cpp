@@ -1,5 +1,6 @@
 #include "common/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 #include <memory>
@@ -120,6 +121,20 @@ void ThreadPool::parallel_for(std::size_t count,
     });
   }
   if (state->error) std::rethrow_exception(state->error);
+}
+
+void ThreadPool::run_indexed(std::size_t count, std::size_t threads,
+                             const std::function<void(std::size_t)>& fn) {
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw > 0 ? hw : 1;
+  }
+  if (threads <= 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(std::min(threads, count) - 1);
+  pool.parallel_for(count, fn);
 }
 
 ThreadPool& ThreadPool::global() {

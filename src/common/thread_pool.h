@@ -56,6 +56,14 @@ class ThreadPool {
   /// machine gets a zero-worker pool and fully serial execution.
   static ThreadPool& global();
 
+  /// The shared lane-resolution idiom of the evaluation harness and the
+  /// trace generator: runs fn(i) for every i in [0, count) across `threads`
+  /// lanes (0 = hardware concurrency, 1 = fully serial). A pool of
+  /// threads−1 workers plus the participating caller gives exactly
+  /// `threads` lanes; the usual determinism contract applies.
+  static void run_indexed(std::size_t count, std::size_t threads,
+                          const std::function<void(std::size_t)>& fn);
+
  private:
   struct LoopState;
 

@@ -11,30 +11,12 @@ namespace nurd::core {
 
 namespace {
 
-// Finished-task design matrix and latency targets at a checkpoint.
-struct FinishedData {
-  Matrix x;
-  std::vector<double> y;
-};
-
-FinishedData finished_data(const trace::Job& job,
-                           const trace::Checkpoint& cp) {
-  FinishedData out;
-  out.x = cp.features.select_rows(cp.finished);
-  out.y.resize(cp.finished.size());
-  for (std::size_t i = 0; i < cp.finished.size(); ++i) {
-    out.y[i] = job.latencies[cp.finished[i]];
-  }
-  return out;
-}
-
 // Censored targets over all tasks: finished are exact, running are
 // right-censored at the checkpoint horizon.
-std::vector<ml::Target> censored_targets(const trace::Job& job,
-                                         const trace::Checkpoint& cp) {
-  std::vector<ml::Target> t(job.task_count());
-  for (auto i : cp.finished) t[i] = {job.latencies[i], false};
-  for (auto i : cp.running) t[i] = {cp.tau_run, true};
+std::vector<ml::Target> censored_targets(const trace::CheckpointView& view) {
+  std::vector<ml::Target> t(view.task_count());
+  for (auto i : view.finished()) t[i] = {view.revealed_latency(i), false};
+  for (auto i : view.running()) t[i] = {view.tau_run(), true};
   return t;
 }
 
@@ -44,21 +26,21 @@ std::vector<ml::Target> censored_targets(const trace::Job& job,
 
 GbtrPredictor::GbtrPredictor(ml::GbtParams params) : params_(params) {}
 
-void GbtrPredictor::initialize(const trace::Job&, double tau_stra) {
-  tau_stra_ = tau_stra;
+void GbtrPredictor::initialize(const JobContext& context) {
+  tau_stra_ = context.tau_stra;
 }
 
 std::vector<std::size_t> GbtrPredictor::predict_stragglers(
-    const trace::Job& job, std::size_t t,
+    const trace::CheckpointView& view,
     std::span<const std::size_t> candidates) {
-  const auto& cp = job.checkpoints.at(t);
-  if (cp.finished.empty() || candidates.empty()) return {};
-  const auto data = finished_data(job, cp);
+  if (view.finished().empty() || candidates.empty()) return {};
+  view.gather_rows(view.finished(), &x_);
+  view.finished_latencies(&y_);
   auto model = ml::GradientBoosting::regressor(params_);
-  model.fit(data.x, data.y);
+  model.fit(x_, y_);
   std::vector<std::size_t> flagged;
   for (auto i : candidates) {
-    if (model.predict(cp.features.row(i)) >= tau_stra_) flagged.push_back(i);
+    if (model.predict(view.row(i)) >= tau_stra_) flagged.push_back(i);
   }
   return flagged;
 }
@@ -73,15 +55,15 @@ OutlierPredictor::OutlierPredictor(std::string name, DetectorFactory make,
   NURD_CHECK(make_ != nullptr, "detector factory must not be null");
 }
 
-void OutlierPredictor::initialize(const trace::Job&, double) {}
+void OutlierPredictor::initialize(const JobContext&) {}
 
 std::vector<std::size_t> OutlierPredictor::predict_stragglers(
-    const trace::Job& job, std::size_t t,
+    const trace::CheckpointView& view,
     std::span<const std::size_t> candidates) {
-  const auto& cp = job.checkpoints.at(t);
   if (candidates.empty()) return {};
+  view.snapshot(&snapshot_);
   auto detector = make_();
-  detector->fit(cp.features);
+  detector->fit(snapshot_);
   const auto& scores = detector->scores();
   const double thr = outlier::contamination_threshold(scores, contamination_);
   std::vector<std::size_t> flagged;
@@ -97,19 +79,20 @@ XgbodPredictor::XgbodPredictor(outlier::XgbodParams params,
                                double contamination)
     : params_(params), contamination_(contamination) {}
 
-void XgbodPredictor::initialize(const trace::Job&, double) {}
+void XgbodPredictor::initialize(const JobContext&) {}
 
 std::vector<std::size_t> XgbodPredictor::predict_stragglers(
-    const trace::Job& job, std::size_t t,
+    const trace::CheckpointView& view,
     std::span<const std::size_t> candidates) {
-  const auto& cp = job.checkpoints.at(t);
-  if (candidates.empty() || cp.finished.empty() || cp.running.empty()) {
+  if (candidates.empty() || view.finished().empty() ||
+      view.running().empty()) {
     return {};
   }
-  std::vector<double> pseudo(job.task_count(), 0.0);
-  for (auto i : cp.running) pseudo[i] = 1.0;
+  std::vector<double> pseudo(view.task_count(), 0.0);
+  for (auto i : view.running()) pseudo[i] = 1.0;
+  view.snapshot(&snapshot_);
   outlier::XgbodDetector det(params_);
-  det.fit(cp.features, pseudo);
+  det.fit(snapshot_, pseudo);
   const auto& scores = det.scores();
   const double thr = outlier::contamination_threshold(scores, contamination_);
   std::vector<std::size_t> flagged;
@@ -123,22 +106,22 @@ std::vector<std::size_t> XgbodPredictor::predict_stragglers(
 
 PuEnPredictor::PuEnPredictor(pu::PuEnParams params) : params_(params) {}
 
-void PuEnPredictor::initialize(const trace::Job&, double) {}
+void PuEnPredictor::initialize(const JobContext&) {}
 
 std::vector<std::size_t> PuEnPredictor::predict_stragglers(
-    const trace::Job& job, std::size_t t,
+    const trace::CheckpointView& view,
     std::span<const std::size_t> candidates) {
-  const auto& cp = job.checkpoints.at(t);
-  if (cp.finished.empty() || cp.running.empty() || candidates.empty()) {
+  if (view.finished().empty() || view.running().empty() ||
+      candidates.empty()) {
     return {};
   }
-  const Matrix labeled = cp.features.select_rows(cp.finished);
-  const Matrix unlabeled = cp.features.select_rows(cp.running);
+  view.gather_rows(view.finished(), &labeled_);
+  view.gather_rows(view.running(), &unlabeled_);
   pu::PuElkanNoto model(params_);
-  model.fit(labeled, unlabeled);
+  model.fit(labeled_, unlabeled_);
   std::vector<std::size_t> flagged;
   for (auto i : candidates) {
-    if (model.prob_labeled_class(cp.features.row(i)) < 0.5) {
+    if (model.prob_labeled_class(view.row(i)) < 0.5) {
       flagged.push_back(i);
     }
   }
@@ -149,17 +132,16 @@ std::vector<std::size_t> PuEnPredictor::predict_stragglers(
 
 PuBgPredictor::PuBgPredictor(pu::PuBgParams params) : params_(params) {}
 
-void PuBgPredictor::initialize(const trace::Job&, double) {}
+void PuBgPredictor::initialize(const JobContext&) {}
 
 std::vector<std::size_t> PuBgPredictor::predict_stragglers(
-    const trace::Job& job, std::size_t t,
+    const trace::CheckpointView& view,
     std::span<const std::size_t> candidates) {
-  const auto& cp = job.checkpoints.at(t);
-  if (cp.finished.empty() || candidates.empty()) return {};
-  const Matrix labeled = cp.features.select_rows(cp.finished);
-  const Matrix unlabeled = cp.features.select_rows(candidates);
+  if (view.finished().empty() || candidates.empty()) return {};
+  view.gather_rows(view.finished(), &labeled_);
+  view.gather_rows(candidates, &unlabeled_);
   pu::PuBaggingSvm model(params_);
-  model.fit(labeled, unlabeled);
+  model.fit(labeled_, unlabeled_);
   const auto& scores = model.unlabeled_scores();
   std::vector<std::size_t> flagged;
   for (std::size_t c = 0; c < candidates.size(); ++c) {
@@ -173,21 +155,21 @@ std::vector<std::size_t> PuBgPredictor::predict_stragglers(
 TobitPredictor::TobitPredictor(censored::TobitParams params)
     : params_(params) {}
 
-void TobitPredictor::initialize(const trace::Job&, double tau_stra) {
-  tau_stra_ = tau_stra;
+void TobitPredictor::initialize(const JobContext& context) {
+  tau_stra_ = context.tau_stra;
 }
 
 std::vector<std::size_t> TobitPredictor::predict_stragglers(
-    const trace::Job& job, std::size_t t,
+    const trace::CheckpointView& view,
     std::span<const std::size_t> candidates) {
-  const auto& cp = job.checkpoints.at(t);
-  if (cp.finished.empty() || candidates.empty()) return {};
-  const auto targets = censored_targets(job, cp);
+  if (view.finished().empty() || candidates.empty()) return {};
+  const auto targets = censored_targets(view);
+  view.snapshot(&snapshot_);
   censored::TobitRegression model(params_);
-  model.fit(cp.features, targets);
+  model.fit(snapshot_, targets);
   std::vector<std::size_t> flagged;
   for (auto i : candidates) {
-    if (model.predict(cp.features.row(i)) >= tau_stra_) flagged.push_back(i);
+    if (model.predict(view.row(i)) >= tau_stra_) flagged.push_back(i);
   }
   return flagged;
 }
@@ -196,25 +178,23 @@ std::vector<std::size_t> TobitPredictor::predict_stragglers(
 
 GrabitPredictor::GrabitPredictor(ml::GbtParams params) : params_(params) {}
 
-void GrabitPredictor::initialize(const trace::Job&, double tau_stra) {
-  tau_stra_ = tau_stra;
+void GrabitPredictor::initialize(const JobContext& context) {
+  tau_stra_ = context.tau_stra;
 }
 
 std::vector<std::size_t> GrabitPredictor::predict_stragglers(
-    const trace::Job& job, std::size_t t,
+    const trace::CheckpointView& view,
     std::span<const std::size_t> candidates) {
-  const auto& cp = job.checkpoints.at(t);
-  if (cp.finished.empty() || candidates.empty()) return {};
-  const auto targets = censored_targets(job, cp);
-  std::vector<double> fin_lat;
-  fin_lat.reserve(cp.finished.size());
-  for (auto i : cp.finished) fin_lat.push_back(job.latencies[i]);
-  const double sigma = std::max(stddev(fin_lat), 1e-3);
+  if (view.finished().empty() || candidates.empty()) return {};
+  const auto targets = censored_targets(view);
+  view.finished_latencies(&fin_lat_);
+  const double sigma = std::max(stddev(fin_lat_), 1e-3);
+  view.snapshot(&snapshot_);
   auto model = ml::GradientBoosting::grabit(sigma, params_);
-  model.fit(cp.features, targets);
+  model.fit(snapshot_, targets);
   std::vector<std::size_t> flagged;
   for (auto i : candidates) {
-    if (model.predict(cp.features.row(i)) >= tau_stra_) flagged.push_back(i);
+    if (model.predict(view.row(i)) >= tau_stra_) flagged.push_back(i);
   }
   return flagged;
 }
@@ -223,23 +203,23 @@ std::vector<std::size_t> GrabitPredictor::predict_stragglers(
 
 CoxPredictor::CoxPredictor(censored::CoxParams params) : params_(params) {}
 
-void CoxPredictor::initialize(const trace::Job&, double tau_stra) {
-  tau_stra_ = tau_stra;
+void CoxPredictor::initialize(const JobContext& context) {
+  tau_stra_ = context.tau_stra;
 }
 
 std::vector<std::size_t> CoxPredictor::predict_stragglers(
-    const trace::Job& job, std::size_t t,
+    const trace::CheckpointView& view,
     std::span<const std::size_t> candidates) {
-  const auto& cp = job.checkpoints.at(t);
-  if (cp.finished.empty() || candidates.empty()) return {};
-  std::vector<censored::SurvivalObservation> obs(job.task_count());
-  for (auto i : cp.finished) obs[i] = {job.latencies[i], true};
-  for (auto i : cp.running) obs[i] = {cp.tau_run, false};
+  if (view.finished().empty() || candidates.empty()) return {};
+  std::vector<censored::SurvivalObservation> obs(view.task_count());
+  for (auto i : view.finished()) obs[i] = {view.revealed_latency(i), true};
+  for (auto i : view.running()) obs[i] = {view.tau_run(), false};
+  view.snapshot(&snapshot_);
   censored::CoxPh model(params_);
-  model.fit(cp.features, obs);
+  model.fit(snapshot_, obs);
   std::vector<std::size_t> flagged;
   for (auto i : candidates) {
-    if (model.survival(tau_stra_, cp.features.row(i)) >= 0.5) {
+    if (model.survival(tau_stra_, view.row(i)) >= 0.5) {
       flagged.push_back(i);
     }
   }
@@ -256,20 +236,25 @@ WranglerPredictor::WranglerPredictor(ml::SvmParams params,
              "train_fraction must be in (0,1)");
 }
 
-void WranglerPredictor::initialize(const trace::Job& job, double) {
-  // Privileged offline sample: 2/3 of tasks with true labels (§6).
+void WranglerPredictor::initialize(const JobContext& context) {
+  // Privileged offline sample: 2/3 of tasks with true labels (§6), granted
+  // through the explicit capability rather than read off the job.
+  NURD_CHECK(context.offline != nullptr,
+             "Wrangler requires the OfflineSample capability");
+  NURD_CHECK(context.offline->task_count() == context.task_count,
+             "offline sample does not match the job");
   Rng rng(seed_);
-  const std::size_t n = job.task_count();
+  const std::size_t n = context.task_count;
   const auto k = std::max<std::size_t>(
       2, static_cast<std::size_t>(train_fraction_ * static_cast<double>(n)));
   train_ids_ = rng.sample_without_replacement(n, std::min(k, n));
-  labels_ = job.straggler_labels();
+  const auto labels = context.offline->labels();
+  labels_.assign(labels.begin(), labels.end());
 }
 
 std::vector<std::size_t> WranglerPredictor::predict_stragglers(
-    const trace::Job& job, std::size_t t,
+    const trace::CheckpointView& view,
     std::span<const std::size_t> candidates) {
-  const auto& cp = job.checkpoints.at(t);
   if (candidates.empty()) return {};
 
   // Oversample stragglers by weighting them to parity with non-stragglers.
@@ -280,20 +265,20 @@ std::vector<std::size_t> WranglerPredictor::predict_stragglers(
   const double pos_weight =
       static_cast<double>(neg) / static_cast<double>(pos);
 
-  Matrix x(0, 0);
+  view.gather_rows(train_ids_, &x_);
   std::vector<double> y, w;
-  x.reserve_rows(train_ids_.size());
+  y.reserve(train_ids_.size());
+  w.reserve(train_ids_.size());
   for (auto i : train_ids_) {
-    x.push_row(cp.features.row(i));
     y.push_back(labels_[i]);
     w.push_back(labels_[i] == 1 ? pos_weight : 1.0);
   }
   ml::LinearSVM svm(params_);
-  svm.fit(x, y, w);
+  svm.fit(x_, y, w);
 
   std::vector<std::size_t> flagged;
   for (auto i : candidates) {
-    if (svm.decision(cp.features.row(i)) > 0.0) flagged.push_back(i);
+    if (svm.decision(view.row(i)) > 0.0) flagged.push_back(i);
   }
   return flagged;
 }

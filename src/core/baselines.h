@@ -2,6 +2,11 @@
 // the online StragglerPredictor interface. Each adapter documents how the
 // underlying (usually offline) method is driven by streaming checkpoint
 // data; the adaptations follow the paper and DESIGN.md §3.
+//
+// All adapters consume trace::CheckpointView — the enforced observation
+// boundary — and keep per-instance scratch matrices so the per-checkpoint
+// refits gather rows into reused capacity instead of allocating fresh
+// matrices.
 #pragma once
 
 #include <functional>
@@ -28,14 +33,16 @@ class GbtrPredictor final : public StragglerPredictor {
  public:
   explicit GbtrPredictor(ml::GbtParams params = {});
   std::string name() const override { return "GBTR"; }
-  void initialize(const trace::Job& job, double tau_stra) override;
+  void initialize(const JobContext& context) override;
   std::vector<std::size_t> predict_stragglers(
-      const trace::Job& job, std::size_t t,
+      const trace::CheckpointView& view,
       std::span<const std::size_t> candidates) override;
 
  private:
   ml::GbtParams params_;
   double tau_stra_ = 0.0;
+  Matrix x_;
+  std::vector<double> y_;
 };
 
 /// Generic adapter for the 13 unsupervised detectors: at each checkpoint the
@@ -50,15 +57,16 @@ class OutlierPredictor final : public StragglerPredictor {
   OutlierPredictor(std::string name, DetectorFactory make,
                    double contamination = 0.1);
   std::string name() const override { return name_; }
-  void initialize(const trace::Job& job, double tau_stra) override;
+  void initialize(const JobContext& context) override;
   std::vector<std::size_t> predict_stragglers(
-      const trace::Job& job, std::size_t t,
+      const trace::CheckpointView& view,
       std::span<const std::size_t> candidates) override;
 
  private:
   std::string name_;
   DetectorFactory make_;
   double contamination_;
+  Matrix snapshot_;
 };
 
 /// XGBOD adapter: TOS-augmented boosted classifier trained on the
@@ -68,14 +76,15 @@ class XgbodPredictor final : public StragglerPredictor {
   explicit XgbodPredictor(outlier::XgbodParams params = {},
                           double contamination = 0.1);
   std::string name() const override { return "XGBOD"; }
-  void initialize(const trace::Job& job, double tau_stra) override;
+  void initialize(const JobContext& context) override;
   std::vector<std::size_t> predict_stragglers(
-      const trace::Job& job, std::size_t t,
+      const trace::CheckpointView& view,
       std::span<const std::size_t> candidates) override;
 
  private:
   outlier::XgbodParams params_;
   double contamination_;
+  Matrix snapshot_;
 };
 
 /// PU-EN adapter (Elkan–Noto with swapped roles): flags a candidate when the
@@ -85,13 +94,15 @@ class PuEnPredictor final : public StragglerPredictor {
  public:
   explicit PuEnPredictor(pu::PuEnParams params = {});
   std::string name() const override { return "PU-EN"; }
-  void initialize(const trace::Job& job, double tau_stra) override;
+  void initialize(const JobContext& context) override;
   std::vector<std::size_t> predict_stragglers(
-      const trace::Job& job, std::size_t t,
+      const trace::CheckpointView& view,
       std::span<const std::size_t> candidates) override;
 
  private:
   pu::PuEnParams params_;
+  Matrix labeled_;
+  Matrix unlabeled_;
 };
 
 /// PU-BG adapter (bagging SVM): flags a candidate when its aggregated
@@ -100,13 +111,15 @@ class PuBgPredictor final : public StragglerPredictor {
  public:
   explicit PuBgPredictor(pu::PuBgParams params = {});
   std::string name() const override { return "PU-BG"; }
-  void initialize(const trace::Job& job, double tau_stra) override;
+  void initialize(const JobContext& context) override;
   std::vector<std::size_t> predict_stragglers(
-      const trace::Job& job, std::size_t t,
+      const trace::CheckpointView& view,
       std::span<const std::size_t> candidates) override;
 
  private:
   pu::PuBgParams params_;
+  Matrix labeled_;
+  Matrix unlabeled_;
 };
 
 /// Linear Tobit adapter: all tasks enter the fit (finished uncensored,
@@ -116,14 +129,15 @@ class TobitPredictor final : public StragglerPredictor {
  public:
   explicit TobitPredictor(censored::TobitParams params = {});
   std::string name() const override { return "Tobit"; }
-  void initialize(const trace::Job& job, double tau_stra) override;
+  void initialize(const JobContext& context) override;
   std::vector<std::size_t> predict_stragglers(
-      const trace::Job& job, std::size_t t,
+      const trace::CheckpointView& view,
       std::span<const std::size_t> candidates) override;
 
  private:
   censored::TobitParams params_;
   double tau_stra_ = 0.0;
+  Matrix snapshot_;
 };
 
 /// Grabit adapter: gradient boosting with the Tobit loss; σ is set to the
@@ -132,14 +146,16 @@ class GrabitPredictor final : public StragglerPredictor {
  public:
   explicit GrabitPredictor(ml::GbtParams params = {});
   std::string name() const override { return "Grabit"; }
-  void initialize(const trace::Job& job, double tau_stra) override;
+  void initialize(const JobContext& context) override;
   std::vector<std::size_t> predict_stragglers(
-      const trace::Job& job, std::size_t t,
+      const trace::CheckpointView& view,
       std::span<const std::size_t> candidates) override;
 
  private:
   ml::GbtParams params_;
   double tau_stra_ = 0.0;
+  Matrix snapshot_;
+  std::vector<double> fin_lat_;
 };
 
 /// CoxPH adapter: completion is the event; flags when the predicted
@@ -148,29 +164,33 @@ class CoxPredictor final : public StragglerPredictor {
  public:
   explicit CoxPredictor(censored::CoxParams params = {});
   std::string name() const override { return "CoxPH"; }
-  void initialize(const trace::Job& job, double tau_stra) override;
+  void initialize(const JobContext& context) override;
   std::vector<std::size_t> predict_stragglers(
-      const trace::Job& job, std::size_t t,
+      const trace::CheckpointView& view,
       std::span<const std::size_t> candidates) override;
 
  private:
   censored::CoxParams params_;
   double tau_stra_ = 0.0;
+  Matrix snapshot_;
 };
 
 /// Wrangler (Yadwadkar et al. 2014): the one privileged baseline — a random
 /// 2/3 of the job's tasks (with their true labels, stragglers included) form
 /// an offline training sample, stragglers are oversampled to balance, and a
 /// linear SVM classifies the rest at every checkpoint. Mirrors §6 exactly.
+/// The true labels arrive through the explicit OfflineSample capability the
+/// harness grants to Privilege::kOfflineLabels methods.
 class WranglerPredictor final : public StragglerPredictor {
  public:
   explicit WranglerPredictor(ml::SvmParams params = {},
                              double train_fraction = 2.0 / 3.0,
                              std::uint64_t seed = 97);
   std::string name() const override { return "Wrangler"; }
-  void initialize(const trace::Job& job, double tau_stra) override;
+  Privilege privilege() const override { return Privilege::kOfflineLabels; }
+  void initialize(const JobContext& context) override;
   std::vector<std::size_t> predict_stragglers(
-      const trace::Job& job, std::size_t t,
+      const trace::CheckpointView& view,
       std::span<const std::size_t> candidates) override;
 
  private:
@@ -179,6 +199,7 @@ class WranglerPredictor final : public StragglerPredictor {
   std::uint64_t seed_;
   std::vector<std::size_t> train_ids_;
   std::vector<int> labels_;
+  Matrix x_;
 };
 
 }  // namespace nurd::core

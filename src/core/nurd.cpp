@@ -14,22 +14,29 @@ NurdPredictor::NurdPredictor(NurdParams params) : params_(params) {
              "epsilon must be in (0,1]");
 }
 
-void NurdPredictor::initialize(const trace::Job& job, double tau_stra) {
-  NURD_CHECK(!job.checkpoints.empty(), "job has no checkpoints");
-  tau_stra_ = tau_stra;
+void NurdPredictor::initialize(const JobContext& context) {
+  NURD_CHECK(context.checkpoint_count > 0, "job has no checkpoints");
+  tau_stra_ = context.tau_stra;
+  calibrated_ = false;
+  rho_ = 1.0;
+  delta_ = 0.0;
+}
 
-  // Latency indicator ρ from the first checkpoint's feature centroids
-  // (Algorithm 1 lines 4–6). ρ ≤ 1 ⇒ far tail ⇒ large δ (suppress false
-  // positives); ρ > 1 ⇒ near tail ⇒ small/negative δ (recover true
+void NurdPredictor::calibrate(const trace::CheckpointView& view) {
+  if (calibrated_) return;
+  calibrated_ = true;
+
+  // Latency indicator ρ from the first observed checkpoint's feature
+  // centroids (Algorithm 1 lines 4–6). ρ ≤ 1 ⇒ far tail ⇒ large δ (suppress
+  // false positives); ρ > 1 ⇒ near tail ⇒ small/negative δ (recover true
   // positives).
-  const auto& cp0 = job.checkpoints.front();
-  const Matrix x_fin = cp0.features.select_rows(cp0.finished);
-  const Matrix x_run = cp0.features.select_rows(cp0.running);
-  if (x_fin.empty() || x_run.empty()) {
+  view.gather_rows(view.finished(), &x_fin_);
+  view.gather_rows(view.running(), &x_all_);
+  if (x_fin_.empty() || x_all_.empty()) {
     rho_ = 1.0;  // degenerate start: neutral calibration
   } else {
-    const auto c_fin = x_fin.col_means();
-    const auto c_run = x_run.col_means();
+    const auto c_fin = x_fin_.col_means();
+    const auto c_run = x_all_.col_means();
     std::vector<double> diff(c_fin.size());
     for (std::size_t j = 0; j < c_fin.size(); ++j) {
       diff[j] = c_run[j] - c_fin[j];
@@ -46,55 +53,51 @@ double NurdPredictor::weight(double propensity) const {
 }
 
 NurdPredictor::CheckpointModels NurdPredictor::fit_models(
-    const trace::Job& job, std::size_t t) const {
-  NURD_CHECK(t < job.checkpoints.size(), "checkpoint index out of range");
-  const auto& cp = job.checkpoints[t];
+    const trace::CheckpointView& view) {
+  const auto finished = view.finished();
+  const auto running = view.running();
   CheckpointModels models;
-  if (cp.finished.empty()) return models;
+  if (finished.empty()) return models;
 
   // ht: latency model on finished tasks (Algorithm 1 line 11).
-  const Matrix x_fin = cp.features.select_rows(cp.finished);
-  std::vector<double> y_fin(cp.finished.size());
-  for (std::size_t i = 0; i < cp.finished.size(); ++i) {
-    y_fin[i] = job.latencies[cp.finished[i]];
-  }
+  view.gather_rows(finished, &x_fin_);
+  view.finished_latencies(&y_fin_);
   models.ht.emplace(ml::GradientBoosting::regressor(params_.gbt));
-  models.ht->fit(x_fin, y_fin);
+  models.ht->fit(x_fin_, y_fin_);
 
   // gt: propensity of membership in the finished set — an unweighted
   // logistic regression on finished(1) vs running(0), exactly Eq. 2: the
   // propensity reflects both the class prior (how much of the job has
   // finished) and feature similarity. Absent when one class is missing.
-  if (!cp.running.empty()) {
-    Matrix x_all(0, 0);
-    std::vector<double> y_all;
-    x_all.reserve_rows(cp.finished.size() + cp.running.size());
-    y_all.reserve(cp.finished.size() + cp.running.size());
-    for (auto i : cp.finished) {
-      x_all.push_row(cp.features.row(i));
-      y_all.push_back(1.0);
+  if (!running.empty()) {
+    x_all_.reset(view.feature_count());
+    x_all_.reserve_rows(finished.size() + running.size());
+    y_all_.clear();
+    y_all_.reserve(finished.size() + running.size());
+    for (auto i : finished) {
+      x_all_.push_row(view.row(i));
+      y_all_.push_back(1.0);
     }
-    for (auto i : cp.running) {
-      x_all.push_row(cp.features.row(i));
-      y_all.push_back(0.0);
+    for (auto i : running) {
+      x_all_.push_row(view.row(i));
+      y_all_.push_back(0.0);
     }
     models.gt.emplace(params_.propensity);
-    models.gt->fit(x_all, y_all);
+    models.gt->fit(x_all_, y_all_);
   }
   return models;
 }
 
 std::vector<std::size_t> NurdPredictor::predict_stragglers(
-    const trace::Job& job, std::size_t t,
+    const trace::CheckpointView& view,
     std::span<const std::size_t> candidates) {
-  NURD_CHECK(t < job.checkpoints.size(), "checkpoint index out of range");
-  const auto& cp = job.checkpoints[t];
-  if (cp.finished.empty() || candidates.empty()) return {};
-  const auto models = fit_models(job, t);
+  calibrate(view);
+  if (view.finished().empty() || candidates.empty()) return {};
+  const auto models = fit_models(view);
 
   std::vector<std::size_t> flagged;
   for (auto i : candidates) {
-    const auto row = cp.features.row(i);
+    const auto row = view.row(i);
     const double y_hat = models.ht->predict(row);
     const double z = models.gt ? models.gt->predict_proba(row) : 1.0;
     const double y_adj = y_hat / weight(z);

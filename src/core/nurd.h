@@ -14,6 +14,12 @@
 // checkpoint (§4.3 "Updating models online").
 //
 // NURD-NC is the ablation with w = z (no calibration term).
+//
+// Under the CheckpointView API the calibration happens at the FIRST view
+// the predictor observes (the harness always starts at checkpoint 0) —
+// calibrate() is idempotent and exposed so benches can calibrate against a
+// chosen checkpoint explicitly. Refits reuse per-instance scratch matrices
+// (the library's hottest allocation path before this change).
 #pragma once
 
 #include <cstdint>
@@ -49,13 +55,18 @@ class NurdPredictor final : public StragglerPredictor {
     return params_.calibrate ? "NURD" : "NURD-NC";
   }
 
-  void initialize(const trace::Job& job, double tau_stra) override;
+  void initialize(const JobContext& context) override;
 
   std::vector<std::size_t> predict_stragglers(
-      const trace::Job& job, std::size_t t,
+      const trace::CheckpointView& view,
       std::span<const std::size_t> candidates) override;
 
-  /// Centroid ratio ρ computed at initialization (exposed for tests and the
+  /// Computes ρ and δ from `view`'s finished/running centroids (Algorithm 1
+  /// lines 4–6). Called automatically on the first predicted view;
+  /// idempotent afterwards.
+  void calibrate(const trace::CheckpointView& view);
+
+  /// Centroid ratio ρ computed at calibration (exposed for tests and the
   /// calibration ablation bench).
   double rho() const { return rho_; }
 
@@ -75,14 +86,23 @@ class NurdPredictor final : public StragglerPredictor {
     std::optional<ml::LogisticRegression> gt;
   };
 
-  /// Fits ht and gt from checkpoint `t`'s finished/running split.
-  CheckpointModels fit_models(const trace::Job& job, std::size_t t) const;
+  /// Fits ht and gt from the view's finished/running split. Reuses the
+  /// predictor's scratch buffers, so calls are cheap to repeat per
+  /// checkpoint but not thread-safe across views.
+  CheckpointModels fit_models(const trace::CheckpointView& view);
 
  private:
   NurdParams params_;
   double tau_stra_ = 0.0;
+  bool calibrated_ = false;
   double rho_ = 1.0;
   double delta_ = 0.0;
+
+  // Refit scratch (reused across checkpoints; see ISSUE 2's perf satellite).
+  Matrix x_fin_;
+  Matrix x_all_;
+  std::vector<double> y_fin_;
+  std::vector<double> y_all_;
 };
 
 }  // namespace nurd::core

@@ -7,21 +7,69 @@
 // order and asks the predictor which of the not-yet-flagged running tasks
 // will straggle. A task flagged positive is never asked about again; a task
 // predicted negative is re-evaluated while it remains running.
+//
+// Observation discipline: a predictor sees a job only through
+//   * JobContext at initialize() — static metadata plus, for methods that
+//     explicitly declare the privilege, an OfflineSample capability; and
+//   * trace::CheckpointView at each predict_stragglers() call — the exact
+//     state observable at that horizon (finished latencies revealed,
+//     running latencies hidden by construction).
+// The seed interface handed every method the whole materialized Job and
+// relied on convention; here the type system enforces it. Wrangler's
+// privileged offline sample (its published protocol, §6) is the one
+// sanctioned exception, granted as an explicit capability the harness can
+// audit rather than a loophole.
 #pragma once
 
 #include <functional>
 #include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
-#include "trace/job.h"
+#include "trace/checkpoint_view.h"
 
 namespace nurd::core {
 
+/// The privileged offline capability: true straggler labels for the whole
+/// job, available before execution. Only Wrangler's protocol uses it; the
+/// harness constructs it solely for predictors declaring
+/// Privilege::kOfflineLabels.
+class OfflineSample {
+ public:
+  explicit OfflineSample(std::vector<int> straggler_labels)
+      : labels_(std::move(straggler_labels)) {}
+
+  /// True straggler labels (1 = straggler) at the operator threshold.
+  std::span<const int> labels() const { return labels_; }
+  std::size_t task_count() const { return labels_.size(); }
+
+ private:
+  std::vector<int> labels_;
+};
+
+/// What a predictor is allowed to observe beyond the online stream.
+enum class Privilege {
+  kOnline,         ///< checkpoint views only (every method but one)
+  kOfflineLabels,  ///< + OfflineSample at initialize (Wrangler, §6)
+};
+
+/// Per-job static context handed to initialize(). Deliberately free of
+/// feature or latency data: everything dynamic arrives via CheckpointView.
+struct JobContext {
+  std::string_view job_id;
+  std::size_t task_count = 0;
+  std::size_t feature_count = 0;
+  std::size_t checkpoint_count = 0;
+  double tau_stra = 0.0;  ///< operator straggler threshold (p90 in the paper)
+  /// Non-null only for predictors whose privilege() is kOfflineLabels.
+  const OfflineSample* offline = nullptr;
+};
+
 /// Stateful per-job online predictor. Create one instance per job (via
 /// PredictorFactory); the harness calls initialize() once and then
-/// predict_stragglers() at each checkpoint in ascending order.
+/// predict_stragglers() with each checkpoint's view in ascending order.
 class StragglerPredictor {
  public:
   virtual ~StragglerPredictor() = default;
@@ -29,17 +77,17 @@ class StragglerPredictor {
   /// Method name as printed in Table 3 (e.g. "NURD", "Grabit").
   virtual std::string name() const = 0;
 
-  /// Called once before the first checkpoint. `tau_stra` is the operator's
-  /// straggler threshold (p90 in all paper experiments). Implementations
-  /// must not read task latencies beyond what the first checkpoint reveals —
-  /// except Wrangler, whose privileged offline sample is part of its
-  /// published protocol (§6).
-  virtual void initialize(const trace::Job& job, double tau_stra) = 0;
+  /// Declared observation privilege; the harness grants capabilities
+  /// accordingly. Default: strictly online.
+  virtual Privilege privilege() const { return Privilege::kOnline; }
+
+  /// Called once before the first checkpoint.
+  virtual void initialize(const JobContext& context) = 0;
 
   /// Returns the subset of `candidates` (running, not yet flagged) predicted
-  /// to straggle at checkpoint `t`.
+  /// to straggle at the viewed checkpoint.
   virtual std::vector<std::size_t> predict_stragglers(
-      const trace::Job& job, std::size_t t,
+      const trace::CheckpointView& view,
       std::span<const std::size_t> candidates) = 0;
 };
 

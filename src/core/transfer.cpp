@@ -20,21 +20,23 @@ void TransferModel::fit(std::span<const trace::Job> jobs) {
   x.reserve_rows(total_tasks);
   y.reserve(total_tasks);
   for (const auto& job : jobs) {
-    NURD_CHECK(!job.checkpoints.empty(), "source job has no checkpoints");
-    // Use the final snapshot (fullest feature state) of every task.
-    const auto& cp = job.checkpoints.back();
-    const double med = median(job.latencies);
+    NURD_CHECK(job.checkpoint_count() > 0, "source job has no checkpoints");
+    // Use the final snapshot (fullest feature state) of every task. This is
+    // an OFFLINE pooling step over completed jobs, so materializing the
+    // dense matrix (and reading every latency) is legitimate here.
+    const Matrix features = job.trace.materialize(job.checkpoint_count() - 1);
+    const double med = median(job.latencies());
     NURD_CHECK(med > 0.0, "source job has non-positive median latency");
-    const auto mu = cp.features.col_means();
-    const auto sd = cp.features.col_stddevs();
-    std::vector<double> row(cp.features.cols());
+    const auto mu = features.col_means();
+    const auto sd = features.col_stddevs();
+    std::vector<double> row(features.cols());
     for (std::size_t i = 0; i < job.task_count(); ++i) {
-      auto src = cp.features.row(i);
+      auto src = features.row(i);
       for (std::size_t f = 0; f < row.size(); ++f) {
         row[f] = (src[f] - mu[f]) / (sd[f] > 0.0 ? sd[f] : 1.0);
       }
       x.push_row(row);
-      y.push_back(std::log(job.latencies[i] / med));
+      y.push_back(std::log(job.latency(i) / med));
     }
   }
   model_ = ml::GradientBoosting::regressor(params_);
@@ -67,10 +69,9 @@ TransferNurdPredictor::TransferNurdPredictor(
   NURD_CHECK(params_.blend_halfway > 0.0, "blend_halfway must be positive");
 }
 
-void TransferNurdPredictor::initialize(const trace::Job& job,
-                                       double tau_stra) {
-  tau_stra_ = tau_stra;
-  base_.initialize(job, tau_stra);
+void TransferNurdPredictor::initialize(const JobContext& context) {
+  tau_stra_ = context.tau_stra;
+  base_.initialize(context);
 }
 
 double TransferNurdPredictor::lambda(std::size_t finished) const {
@@ -79,26 +80,25 @@ double TransferNurdPredictor::lambda(std::size_t finished) const {
 }
 
 std::vector<std::size_t> TransferNurdPredictor::predict_stragglers(
-    const trace::Job& job, std::size_t t,
+    const trace::CheckpointView& view,
     std::span<const std::size_t> candidates) {
-  const auto& cp = job.checkpoints.at(t);
-  if (cp.finished.empty() || candidates.empty()) return {};
-  const auto models = base_.fit_models(job, t);
+  base_.calibrate(view);
+  if (view.finished().empty() || candidates.empty()) return {};
+  const auto models = base_.fit_models(view);
 
   // Per-job normalization context for the global model: z-scoring over the
   // current snapshot, latency scale from the finished tasks' median (the
   // only latency scale observable online).
-  const auto mu = cp.features.col_means();
-  const auto sd = cp.features.col_stddevs();
-  std::vector<double> fin_lat;
-  fin_lat.reserve(cp.finished.size());
-  for (auto i : cp.finished) fin_lat.push_back(job.latencies[i]);
-  const double scale = std::max(median(fin_lat), 1e-9);
-  const double lam = lambda(cp.finished.size());
+  view.snapshot(&snapshot_);
+  const auto mu = snapshot_.col_means();
+  const auto sd = snapshot_.col_stddevs();
+  view.finished_latencies(&fin_lat_);
+  const double scale = std::max(median(fin_lat_), 1e-9);
+  const double lam = lambda(view.finished().size());
 
   std::vector<std::size_t> flagged;
   for (auto i : candidates) {
-    const auto row = cp.features.row(i);
+    const auto row = view.row(i);
     const double local = models.ht->predict(row);
     const double pooled = global_->predict(row, mu, sd, scale);
     const double y_hat = lam * local + (1.0 - lam) * pooled;

@@ -23,6 +23,7 @@
 #include "core/nurd.h"
 #include "core/predictor.h"
 #include "ml/gbt.h"
+#include "trace/job.h"
 
 namespace nurd::core {
 
@@ -66,9 +67,9 @@ class TransferNurdPredictor final : public StragglerPredictor {
                         TransferNurdParams params = {});
 
   std::string name() const override { return "NURD-TL"; }
-  void initialize(const trace::Job& job, double tau_stra) override;
+  void initialize(const JobContext& context) override;
   std::vector<std::size_t> predict_stragglers(
-      const trace::Job& job, std::size_t t,
+      const trace::CheckpointView& view,
       std::span<const std::size_t> candidates) override;
 
   /// Blend weight λ for a finished-set size (exposed for tests).
@@ -79,6 +80,8 @@ class TransferNurdPredictor final : public StragglerPredictor {
   TransferNurdParams params_;
   NurdPredictor base_;
   double tau_stra_ = 0.0;
+  Matrix snapshot_;
+  std::vector<double> fin_lat_;
 };
 
 }  // namespace nurd::core

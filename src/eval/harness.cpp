@@ -1,36 +1,55 @@
 #include "eval/harness.h"
 
 #include <algorithm>
-#include <thread>
+#include <optional>
 
 #include "common/check.h"
 #include "common/thread_pool.h"
 
 namespace nurd::eval {
 
+core::JobContext make_job_context(const trace::Job& job, double tau_stra) {
+  core::JobContext context;
+  context.job_id = job.id;
+  context.task_count = job.task_count();
+  context.feature_count = job.feature_count();
+  context.checkpoint_count = job.checkpoint_count();
+  context.tau_stra = tau_stra;
+  return context;
+}
+
 JobRunResult run_job(const trace::Job& job,
                      core::StragglerPredictor& predictor, double pct) {
-  NURD_CHECK(!job.checkpoints.empty(), "job has no checkpoints");
+  NURD_CHECK(job.checkpoint_count() > 0, "job has no checkpoints");
   const auto labels = job.straggler_labels(pct);
   const double tau_stra = job.straggler_threshold(pct);
   const std::size_t n = job.task_count();
-  const std::size_t T = job.checkpoints.size();
+  const std::size_t T = job.checkpoint_count();
 
   JobRunResult result;
   result.flagged_at.assign(n, kNeverFlagged);
   result.per_checkpoint.resize(T);
 
-  predictor.initialize(job, tau_stra);
+  // The predictor sees static metadata only; privileged methods (Wrangler)
+  // additionally receive the offline-label capability, explicitly.
+  core::JobContext context = make_job_context(job, tau_stra);
+  std::optional<core::OfflineSample> offline;
+  if (predictor.privilege() == core::Privilege::kOfflineLabels) {
+    offline.emplace(labels);
+    context.offline = &*offline;
+  }
+  predictor.initialize(context);
 
   for (std::size_t t = 0; t < T; ++t) {
-    const auto& cp = job.checkpoints[t];
+    const auto view = job.checkpoint(t);
     // Candidates: running tasks that have not been flagged yet.
+    const auto running = view.running();
     std::vector<std::size_t> candidates;
-    candidates.reserve(cp.running.size());
-    for (auto i : cp.running) {
+    candidates.reserve(running.size());
+    for (auto i : running) {
       if (result.flagged_at[i] == kNeverFlagged) candidates.push_back(i);
     }
-    const auto flagged = predictor.predict_stragglers(job, t, candidates);
+    const auto flagged = predictor.predict_stragglers(view, candidates);
     for (auto i : flagged) {
       NURD_CHECK(i < n, "predictor flagged an invalid task id");
       NURD_CHECK(result.flagged_at[i] == kNeverFlagged,
@@ -63,7 +82,7 @@ MethodResult evaluate_method(const core::NamedPredictor& method,
 
   std::size_t timeline_len = 0;
   for (const auto& job : jobs) {
-    timeline_len = std::max(timeline_len, job.checkpoints.size());
+    timeline_len = std::max(timeline_len, job.checkpoint_count());
   }
   out.f1_timeline.assign(timeline_len, 0.0);
   std::vector<std::size_t> timeline_counts(timeline_len, 0);
@@ -99,22 +118,11 @@ std::vector<JobRunResult> run_method(const core::NamedPredictor& method,
                                      std::span<const trace::Job> jobs,
                                      double pct, std::size_t threads) {
   std::vector<JobRunResult> out(jobs.size());
-  if (threads == 0) {
-    const unsigned hw = std::thread::hardware_concurrency();
-    threads = hw > 0 ? hw : 1;
-  }
-  const auto run_one = [&](std::size_t i) {
+  // Each job writes only its own slot; order-independent.
+  ThreadPool::run_indexed(jobs.size(), threads, [&](std::size_t i) {
     auto predictor = method.make();
     out[i] = run_job(jobs[i], *predictor, pct);
-  };
-  if (threads <= 1 || jobs.size() <= 1) {
-    for (std::size_t i = 0; i < jobs.size(); ++i) run_one(i);
-    return out;
-  }
-  // A pool of threads−1 workers plus the participating caller gives exactly
-  // `threads` lanes. Each job writes only its own slot; order-independent.
-  ThreadPool pool(std::min(threads, jobs.size()) - 1);
-  pool.parallel_for(jobs.size(), run_one);
+  });
   return out;
 }
 

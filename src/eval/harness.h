@@ -33,6 +33,12 @@ struct JobRunResult {
                                           ///< kNeverFlagged
 };
 
+/// The static per-job context run_job hands to initialize() — without the
+/// privileged capability, which run_job grants separately by declared
+/// privilege. Shared by the parity tests, benches, and examples so every
+/// caller mirrors the harness protocol exactly.
+core::JobContext make_job_context(const trace::Job& job, double tau_stra);
+
 /// Runs `predictor` over `job` (fresh instance expected) with the straggler
 /// threshold at latency percentile `pct`.
 JobRunResult run_job(const trace::Job& job,

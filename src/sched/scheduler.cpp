@@ -14,7 +14,7 @@ namespace {
 double resample_latency(const trace::Job& job, Rng& rng) {
   const auto n = static_cast<std::int64_t>(job.task_count());
   const auto idx = static_cast<std::size_t>(rng.uniform_int(0, n - 1));
-  return job.latencies[idx];
+  return job.latency(idx);
 }
 
 }  // namespace
@@ -29,9 +29,9 @@ ScheduleResult schedule_unlimited(const trace::Job& job,
 
   double jct = 0.0;
   for (std::size_t i = 0; i < job.task_count(); ++i) {
-    double completion = job.latencies[i];
+    double completion = job.latency(i);
     if (flagged_at[i] != eval::kNeverFlagged) {
-      const double t_flag = job.checkpoints[flagged_at[i]].tau_run;
+      const double t_flag = job.trace.tau_run(flagged_at[i]);
       // The harness only flags running tasks, so t_flag < latency holds; the
       // relaunched copy starts immediately on a fresh machine.
       completion = t_flag + resample_latency(job, rng);
@@ -52,11 +52,12 @@ ScheduleResult schedule_limited(const trace::Job& job,
   result.original_jct = job.completion_time();
 
   const std::size_t n = job.task_count();
-  const std::size_t T = job.checkpoints.size();
+  const std::size_t T = job.checkpoint_count();
 
   // completion[i] starts at the uninterfered latency and is overwritten when
   // the task is actually relaunched.
-  std::vector<double> completion(job.latencies.begin(), job.latencies.end());
+  std::vector<double> completion(job.latencies().begin(),
+                                 job.latencies().end());
   std::vector<bool> relaunched(n, false);
 
   std::size_t pool = machines;
@@ -64,7 +65,7 @@ ScheduleResult schedule_limited(const trace::Job& job,
   double prev_tau = 0.0;
 
   for (std::size_t t = 0; t < T; ++t) {
-    const double tau = job.checkpoints[t].tau_run;
+    const double tau = job.trace.tau_run(t);
 
     // Machines released by tasks that finished in (prev_tau, tau]. Tasks that
     // were relaunched release the pool machine they took when their copy
@@ -78,13 +79,13 @@ ScheduleResult schedule_limited(const trace::Job& job,
     // Tasks flagged at this checkpoint join the queue (drop any that
     // happened to finish while the prediction was made).
     for (std::size_t i = 0; i < n; ++i) {
-      if (flagged_at[i] == t && job.latencies[i] > tau) waiting.push_back(i);
+      if (flagged_at[i] == t && job.latency(i) > tau) waiting.push_back(i);
     }
 
     // Drop waiting tasks that finished on their own before this checkpoint.
     std::deque<std::size_t> still_waiting;
     for (auto i : waiting) {
-      if (job.latencies[i] <= tau) continue;  // finished while queued
+      if (job.latency(i) <= tau) continue;  // finished while queued
       still_waiting.push_back(i);
     }
     waiting.swap(still_waiting);
@@ -98,7 +99,7 @@ ScheduleResult schedule_limited(const trace::Job& job,
       relaunched[i] = true;
       ++result.relaunched;
       if (flagged_at[i] != eval::kNeverFlagged &&
-          job.checkpoints[flagged_at[i]].tau_run < tau) {
+          job.trace.tau_run(flagged_at[i]) < tau) {
         ++result.waited;
       }
     }

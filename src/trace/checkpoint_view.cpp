@@ -1,0 +1,68 @@
+#include "trace/checkpoint_view.h"
+
+#include "common/check.h"
+
+namespace nurd::trace {
+
+CheckpointView::CheckpointView(const TraceStore& store, std::size_t t)
+    : store_(&store), t_(t) {
+  NURD_CHECK(store.finalized(), "trace store must be finalized");
+  NURD_CHECK(t < store.checkpoint_count(), "checkpoint index out of range");
+}
+
+CheckpointView::CheckpointView(const TraceStore& store, std::size_t t,
+                               const Matrix& snapshot)
+    : store_(&store), dense_(&snapshot), t_(t) {
+  NURD_CHECK(store.finalized(), "trace store must be finalized");
+  NURD_CHECK(t < store.checkpoint_count(), "checkpoint index out of range");
+  NURD_CHECK(snapshot.rows() == store.task_count() &&
+                 snapshot.cols() == store.feature_count(),
+             "snapshot shape does not match the store");
+}
+
+double CheckpointView::finished_fraction() const {
+  return static_cast<double>(finished().size()) /
+         static_cast<double>(task_count());
+}
+
+std::span<const double> CheckpointView::row(std::size_t task) const {
+  if (dense_ != nullptr) {
+    NURD_CHECK(task < dense_->rows(), "task id out of range");
+    return dense_->row(task);
+  }
+  return store_->row(t_, task);
+}
+
+double CheckpointView::revealed_latency(std::size_t task) const {
+  NURD_CHECK(task < task_count(), "task id out of range");
+  NURD_CHECK(is_finished(task),
+             "latency of a still-running task is not observable online");
+  return store_->latency(task);
+}
+
+void CheckpointView::gather_rows(std::span<const std::size_t> tasks,
+                                 Matrix* out) const {
+  NURD_CHECK(out != nullptr, "gather_rows needs a destination");
+  out->reset(feature_count());
+  out->reserve_rows(tasks.size());
+  for (const auto task : tasks) out->push_row(row(task));
+}
+
+void CheckpointView::snapshot(Matrix* out) const {
+  NURD_CHECK(out != nullptr, "snapshot needs a destination");
+  out->reset(feature_count());
+  out->reserve_rows(task_count());
+  for (std::size_t task = 0; task < task_count(); ++task) {
+    out->push_row(row(task));
+  }
+}
+
+void CheckpointView::finished_latencies(std::vector<double>* out) const {
+  NURD_CHECK(out != nullptr, "finished_latencies needs a destination");
+  out->clear();
+  const auto fin = finished();
+  out->reserve(fin.size());
+  for (const auto task : fin) out->push_back(store_->latency(task));
+}
+
+}  // namespace nurd::trace

@@ -1,0 +1,85 @@
+// The online observation boundary. A CheckpointView is everything a
+// predictor may legally see at one horizon τrun_t:
+//
+//   * the finished/running partition and the horizon itself;
+//   * every task's CURRENT feature row (finished tasks frozen at their
+//     completion, running tasks at τrun_t);
+//   * the latency of a task ONLY once it has finished — querying a running
+//     task's latency throws. This turns the paper's §6 online discipline
+//     ("the simulator sends the predictor the features that would be
+//     available at each time checkpoint") from a convention into an
+//     enforced interface: predictors receive a view, not the job.
+//
+// Views are cheap value types (three pointers). The row accessor is
+// normally backed by the columnar TraceStore; the alternate constructor
+// backs it by a dense materialized snapshot instead, which is how the
+// golden-parity test proves the columnar reconstruction is exact.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/matrix.h"
+#include "trace/trace_store.h"
+
+namespace nurd::trace {
+
+class CheckpointView {
+ public:
+  /// Columnar-backed view of checkpoint `t`. The store must outlive the
+  /// view and be finalized.
+  CheckpointView(const TraceStore& store, std::size_t t);
+
+  /// Dense-backed view: partition and latencies still come from the store,
+  /// rows from `snapshot` (an n×d materialized matrix that must outlive the
+  /// view). Used by parity tests and offline tooling.
+  CheckpointView(const TraceStore& store, std::size_t t,
+                 const Matrix& snapshot);
+
+  std::size_t index() const { return t_; }
+  double tau_run() const { return store_->tau_run(t_); }
+  std::size_t task_count() const { return store_->task_count(); }
+  std::size_t feature_count() const { return store_->feature_count(); }
+
+  /// Tasks finished by this horizon (ascending latency).
+  std::span<const std::size_t> finished() const {
+    return store_->finished(t_);
+  }
+
+  /// Tasks still running at this horizon (ascending latency).
+  std::span<const std::size_t> running() const { return store_->running(t_); }
+
+  bool is_finished(std::size_t task) const {
+    return store_->is_finished(t_, task);
+  }
+
+  double finished_fraction() const;
+
+  /// Task `task`'s observable feature row at this horizon.
+  std::span<const double> row(std::size_t task) const;
+
+  /// Latency of a task — ONLY available once it has finished at this
+  /// horizon; querying a still-running task throws (the online discipline).
+  double revealed_latency(std::size_t task) const;
+
+  /// Gathers the rows of `tasks` into `*out` (|tasks| × d), reusing the
+  /// matrix's existing capacity instead of allocating a fresh matrix — the
+  /// refit hot path runs this once per model per checkpoint.
+  void gather_rows(std::span<const std::size_t> tasks, Matrix* out) const;
+
+  /// Gathers every task's row in task-id order (the dense snapshot the
+  /// whole-population detectors fit on), reusing `out`'s capacity.
+  void snapshot(Matrix* out) const;
+
+  /// Revealed latencies of the finished set, in finished() order, into the
+  /// reused `*out`.
+  void finished_latencies(std::vector<double>* out) const;
+
+ private:
+  const TraceStore* store_;
+  const Matrix* dense_ = nullptr;
+  std::size_t t_ = 0;
+};
+
+}  // namespace nurd::trace

@@ -23,17 +23,17 @@ std::vector<std::string> split_commas(const std::string& line) {
 
 void write_csv(std::ostream& out, const Job& job,
                const FeatureSchema& schema) {
-  NURD_CHECK(schema.size() == job.feature_count,
+  NURD_CHECK(schema.size() == job.feature_count(),
              "schema width does not match the job's feature count");
   out << "task,latency,checkpoint,tau_run";
   for (const auto& name : schema.names) out << "," << name;
   out << "\n";
   out.precision(10);
-  for (std::size_t t = 0; t < job.checkpoints.size(); ++t) {
-    const auto& cp = job.checkpoints[t];
+  for (std::size_t t = 0; t < job.checkpoint_count(); ++t) {
+    const double tau = job.trace.tau_run(t);
     for (std::size_t i = 0; i < job.task_count(); ++i) {
-      out << i << "," << job.latencies[i] << "," << t << "," << cp.tau_run;
-      for (double v : cp.features.row(i)) out << "," << v;
+      out << i << "," << job.latency(i) << "," << t << "," << tau;
+      for (double v : job.trace.row(t, i)) out << "," << v;
       out << "\n";
     }
   }
@@ -98,30 +98,33 @@ Job read_csv(std::istream& in, std::string id) {
                    std::to_string(i));
   }
 
+  std::vector<double> latencies(n);
+  for (const auto& [task, lat] : latency_of) latencies[task] = lat;
+
   Job job;
   job.id = std::move(id);
-  job.feature_count = d;
-  job.latencies.resize(n);
-  for (const auto& [task, lat] : latency_of) job.latencies[task] = lat;
+  job.trace = TraceStore(std::move(latencies), d);
 
   double prev_tau = 0.0;
+  std::size_t next_cp = 0;
   for (const auto& [cp_idx, tasks] : rows) {
-    NURD_CHECK(cp_idx == job.checkpoints.size(),
-               "checkpoint ids must be contiguous from 0");
+    NURD_CHECK(cp_idx == next_cp, "checkpoint ids must be contiguous from 0");
+    ++next_cp;
     NURD_CHECK(tasks.size() == n, "checkpoint " + std::to_string(cp_idx) +
                                       " is missing tasks");
-    Checkpoint cp;
-    cp.tau_run = tau_of.at(cp_idx);
-    NURD_CHECK(cp.tau_run > prev_tau, "tau_run must be strictly ascending");
-    prev_tau = cp.tau_run;
-    cp.features = Matrix(n, d);
-    for (const auto& [task, feats] : tasks) {
-      std::copy(feats.begin(), feats.end(), cp.features.row(task).begin());
-      (job.latencies[task] <= cp.tau_run ? cp.finished : cp.running)
-          .push_back(task);
-    }
-    job.checkpoints.push_back(std::move(cp));
+    const double tau = tau_of.at(cp_idx);
+    NURD_CHECK(tau > prev_tau, "tau_run must be strictly ascending");
+    prev_tau = tau;
+    // The store asks only for the rows it may need (running tasks and the
+    // freeze observation of newly-finished ones); redundant later rows of
+    // frozen tasks in the file are ignored.
+    job.trace.append_checkpoint(
+        tau, [&tasks](std::size_t task, std::span<double> out) {
+          const auto& feats = tasks.at(task);
+          std::copy(feats.begin(), feats.end(), out.begin());
+        });
   }
+  job.trace.finalize();
   return job;
 }
 

@@ -10,6 +10,14 @@
 // reader validates structural invariants (consistent feature width, every
 // task present at every checkpoint, ascending tau_run) and rebuilds the
 // finished/running partitions from latency vs tau_run.
+//
+// The on-disk format stays fully materialized (one row per task per
+// checkpoint — the interchange format real parsed traces arrive in), but
+// in memory both directions go through the columnar TraceStore: the writer
+// expands stored row-versions back to dense rows, and the reader adopts the
+// freeze-on-finish discipline — a finished task's row is its observation at
+// the checkpoint where it first appears finished; any later drift of that
+// task in a foreign CSV is ignored.
 #pragma once
 
 #include <iosfwd>

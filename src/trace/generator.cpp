@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <string>
+#include <utility>
 
 #include "common/check.h"
 #include "common/stats.h"
+#include "common/thread_pool.h"
 
 namespace nurd::trace {
 
@@ -17,38 +19,51 @@ TraceGenerator::TraceGenerator(FeatureSchema schema, GeneratorConfig config)
   NURD_CHECK(config_.checkpoints >= 2, "need at least two checkpoints");
 }
 
-std::vector<Job> TraceGenerator::generate(std::size_t count) {
-  std::vector<Job> jobs;
-  jobs.reserve(count);
-  for (std::size_t j = 0; j < count; ++j) {
+std::vector<Job> TraceGenerator::generate(std::size_t count,
+                                          std::size_t threads) {
+  // Serial prefix: regime decisions and per-job RNG forks consume the shared
+  // stream in job order, making the fan-out below order-independent.
+  struct Plan {
     bool far = false;
+    Rng rng{0};
+  };
+  std::vector<Plan> plans;
+  plans.reserve(count);
+  for (std::size_t j = 0; j < count; ++j) {
+    Plan plan;
     switch (config_.regime) {
       case TailRegime::kFar:
-        far = true;
+        plan.far = true;
         break;
       case TailRegime::kNear:
-        far = false;
+        plan.far = false;
         break;
       case TailRegime::kMixed:
-        far = rng_.bernoulli(config_.far_fraction);
+        plan.far = rng_.bernoulli(config_.far_fraction);
         break;
     }
-    jobs.push_back(generate_job(j, far));
+    plan.rng = rng_.fork();
+    plans.push_back(std::move(plan));
   }
+
+  std::vector<Job> jobs(count);
+  // Each job writes only its own slot, from its own pre-forked stream.
+  ThreadPool::run_indexed(count, threads, [&](std::size_t j) {
+    jobs[j] = generate_job_impl(plans[j].rng, j, plans[j].far);
+  });
   return jobs;
 }
 
 Job TraceGenerator::generate_job(std::size_t index, bool far_tail) {
-  Rng rng = rng_.fork();
+  return generate_job_impl(rng_.fork(), index, far_tail);
+}
+
+Job TraceGenerator::generate_job_impl(Rng rng, std::size_t index,
+                                      bool far_tail) const {
   const std::size_t n = static_cast<std::size_t>(rng.uniform_int(
       static_cast<std::int64_t>(config_.min_tasks),
       static_cast<std::int64_t>(config_.max_tasks)));
   const std::size_t d = schema_.size();
-
-  Job job;
-  job.id = std::string(far_tail ? "far" : "near") + "-job-" +
-           std::to_string(index);
-  job.feature_count = d;
 
   // --- Latency model -----------------------------------------------------
   // Base: a WIDE lognormal body (Figure 1: most mass at low normalized
@@ -62,13 +77,11 @@ Job TraceGenerator::generate_job(std::size_t index, bool far_tail) {
   const double sigma_job = rng.uniform(0.7, 1.1);
   const double l90 = med * std::exp(1.2816 * sigma_job);
 
-  job.latencies.resize(n);
-  std::vector<bool> tail_task(n, false);
+  std::vector<double> latencies(n);
   for (std::size_t i = 0; i < n; ++i) {
     const double z = std::min(rng.normal(), 1.45);
     double y = med * std::exp(sigma_job * z);
     if (rng.bernoulli(config_.straggler_rate)) {
-      tail_task[i] = true;
       if (far_tail) {
         const double mult = 1.0 + std::min(rng.pareto(1.5, 1.2), 25.0);
         y = l90 * mult;
@@ -76,13 +89,13 @@ Job TraceGenerator::generate_job(std::size_t index, bool far_tail) {
         y = l90 * (1.0 + rng.uniform(0.05, 0.55));
       }
     }
-    job.latencies[i] = y;
+    latencies[i] = y;
   }
 
   // --- Feature model ------------------------------------------------------
   // Loadings are job specific (datacenter jobs are unique — Reiss et al.
-  // 2012), with a persistent per-task component and fresh per-checkpoint
-  // noise. The feature response has three parts:
+  // 2012), with a persistent per-task noise component. The feature response
+  // has three parts:
   //  * a BODY component, linear in log-slowness but saturating at the p90
   //    scale — it makes latency predictable within the body, yet renders
   //    stragglers linearly indistinguishable from merely-slow tasks;
@@ -99,10 +112,16 @@ Job TraceGenerator::generate_job(std::size_t index, bool far_tail) {
   //    stragglers are outliers in latency, not necessarily in feature space
   //    (§3.2), so feature-space outlier detectors must face feature outliers
   //    that are NOT stragglers.
+  // Noise is PERSISTENT per task (temporally-coherent aggregate counters;
+  // see the header comment). Its stddev folds in the seed model's white
+  // per-checkpoint component (0.6² + 0.4² = 0.72²), so the per-snapshot
+  // noise floor every model sees is unchanged — the noise just stops being
+  // redrawn between checkpoints, which is also what lets the columnar
+  // TraceStore deduplicate non-drifting rows.
   const double z90 = 1.2816 * sigma_job;
   std::vector<double> z_body(n), severity(n);
   for (std::size_t i = 0; i < n; ++i) {
-    const double z = std::log(job.latencies[i] / med);
+    const double z = std::log(latencies[i] / med);
     z_body[i] = std::min(z, z90);
     // Blend of √excess (keeps mild stragglers visible) and linear excess
     // (keeps extreme far-tail stragglers dragging the running centroid, so
@@ -158,7 +177,7 @@ Job TraceGenerator::generate_job(std::size_t index, bool far_tail) {
   Matrix persistent(n, d);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t f = 0; f < d; ++f) {
-      persistent(i, f) = rng.normal(0.0, 0.6 * config_.feature_noise);
+      persistent(i, f) = rng.normal(0.0, 0.72 * config_.feature_noise);
     }
   }
 
@@ -171,42 +190,44 @@ Job TraceGenerator::generate_job(std::size_t index, bool far_tail) {
   // prediction is hard and valuable. Log spacing mirrors the effective
   // information growth of a periodically-sampled trace.
   const double t_start =
-      percentile(job.latencies, 100.0 * config_.initial_finished_frac);
-  const double t_end = 0.985 * max_value(job.latencies);
-  const double t_total = max_value(job.latencies);
+      percentile(latencies, 100.0 * config_.initial_finished_frac);
+  const double t_end = 0.985 * max_value(latencies);
+  const double t_total = max_value(latencies);
   const double ratio = std::max(t_end / std::max(t_start, 1e-9), 1.0001);
   const std::size_t T = config_.checkpoints;
 
-  job.checkpoints.resize(T);
-  for (std::size_t k = 0; k < T; ++k) {
-    Checkpoint& cp = job.checkpoints[k];
-    cp.tau_run = t_start * std::pow(ratio, static_cast<double>(k + 1) /
-                                               static_cast<double>(T));
-    cp.features = Matrix(n, d);
-    for (std::size_t i = 0; i < n; ++i) {
-      // Metrics freeze when a task completes.
-      const double t_eff = std::min(cp.tau_run, job.latencies[i]);
-      const double progress = t_eff / t_total;
-      // Cause signatures build up over the task's lifetime: partially
-      // visible from the start, growing toward full strength
-      // (drift_strength is the ramped share).
-      const double ramp =
-          (1.0 - config_.drift_strength) + config_.drift_strength * progress;
-      const double sig = severity[i] * ramp;
-      const auto cause = cause_dir.row(cause_of[i]);
-      for (std::size_t f = 0; f < d; ++f) {
-        const double fresh = rng.normal(0.0, 0.4 * config_.feature_noise);
-        cp.features(i, f) = mu[f] + loading[f] * z_body[i] +
-                            cause[f] * sig + anomaly(i, f) +
-                            persistent(i, f) + fresh;
-      }
-      if (job.latencies[i] <= cp.tau_run) {
-        cp.finished.push_back(i);
-      } else {
-        cp.running.push_back(i);
-      }
+  Job job;
+  job.id = std::string(far_tail ? "far" : "near") + "-job-" +
+           std::to_string(index);
+  job.trace = TraceStore(std::move(latencies), d);
+  const auto lat = job.trace.latencies();
+
+  // The observed row of task i at effective elapsed time t_eff: metrics
+  // freeze when a task completes (the store calls with t_eff = latency for
+  // the frozen observation), and the cause signature builds up over the
+  // task's lifetime — partially visible from the start, growing toward full
+  // strength (drift_strength is the ramped share).
+  const auto observe = [&](std::size_t i, double t_eff,
+                           std::span<double> out) {
+    const double progress = t_eff / t_total;
+    const double ramp =
+        (1.0 - config_.drift_strength) + config_.drift_strength * progress;
+    const double sig = severity[i] * ramp;
+    const auto cause = cause_dir.row(cause_of[i]);
+    for (std::size_t f = 0; f < d; ++f) {
+      out[f] = mu[f] + loading[f] * z_body[i] + cause[f] * sig +
+               anomaly(i, f) + persistent(i, f);
     }
+  };
+
+  for (std::size_t k = 0; k < T; ++k) {
+    const double tau = t_start * std::pow(ratio, static_cast<double>(k + 1) /
+                                                     static_cast<double>(T));
+    job.trace.append_checkpoint(tau, [&](std::size_t i, std::span<double> out) {
+      observe(i, std::min(tau, lat[i]), out);
+    });
   }
+  job.trace.finalize();
   return job;
 }
 

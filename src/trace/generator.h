@@ -13,6 +13,19 @@
 //  * dataset contrast: Google-like jobs expose 15 informative features,
 //    Alibaba-like jobs only 4 noisier ones, reproducing the paper's weaker
 //    absolute scores and narrower margins on Alibaba.
+//
+// Observation model (and why the columnar TraceStore pays off): real trace
+// features are aggregate counters sampled over long windows — temporally
+// coherent, not white. Feature noise is therefore PERSISTENT per task
+// (machine heterogeneity, fixed over a task's life) rather than redrawn per
+// checkpoint, and a task's row freezes at its completion horizon, exactly
+// as a monitoring pipeline's counters stop moving when the task exits. The
+// only per-checkpoint motion is the straggler-cause drift of slow running
+// tasks, so most row-versions deduplicate in the store.
+//
+// Generation is embarrassingly parallel across jobs: every job draws from
+// its own forked RNG stream decided in a serial prefix pass, so the output
+// is bit-identical at any thread count.
 #pragma once
 
 #include <cstdint>
@@ -40,7 +53,7 @@ struct GeneratorConfig {
   double far_fraction = 0.5;          ///< P(far regime) under kMixed
   double straggler_rate = 0.12;       ///< fraction of tasks given a tail draw
   double feature_signal = 1.0;        ///< loading scale (informativeness)
-  double feature_noise = 0.6;         ///< iid feature noise stddev
+  double feature_noise = 0.6;         ///< per-task persistent noise stddev
   double drift_strength = 0.5;        ///< slow-task feature drift over time
   double tail_feature_boost = 3.0;    ///< straggler-cause signature strength
                                       ///< beyond the p90 scale (resource
@@ -64,8 +77,12 @@ class TraceGenerator {
   TraceGenerator(FeatureSchema schema, GeneratorConfig config);
   virtual ~TraceGenerator() = default;
 
-  /// Generates `count` independent jobs. Deterministic in config.seed.
-  std::vector<Job> generate(std::size_t count);
+  /// Generates `count` independent jobs, fanned out over `threads` pool
+  /// lanes (0 = hardware concurrency, 1 = fully serial). Regime decisions
+  /// and per-job RNG streams are drawn in a serial prefix pass, so the
+  /// output is deterministic in config.seed and bit-identical at any
+  /// thread count.
+  std::vector<Job> generate(std::size_t count, std::size_t threads = 0);
 
   /// Generates a single job with an explicit regime (used by the Figure-1
   /// bench and the calibration tests).
@@ -75,6 +92,9 @@ class TraceGenerator {
   const FeatureSchema& schema() const { return schema_; }
 
  private:
+  /// The per-job body: consumes only `rng` (the job's private stream).
+  Job generate_job_impl(Rng rng, std::size_t index, bool far_tail) const;
+
   FeatureSchema schema_;
   GeneratorConfig config_;
   Rng rng_;

@@ -6,29 +6,31 @@
 namespace nurd::trace {
 
 double Job::straggler_threshold(double pct) const {
-  NURD_CHECK(!latencies.empty(), "job has no tasks");
-  return percentile(latencies, pct);
+  NURD_CHECK(task_count() > 0, "job has no tasks");
+  return percentile(latencies(), pct);
 }
 
 std::vector<int> Job::straggler_labels(double pct) const {
   const double thr = straggler_threshold(pct);
-  std::vector<int> labels(latencies.size(), 0);
-  for (std::size_t i = 0; i < latencies.size(); ++i) {
-    labels[i] = latencies[i] >= thr ? 1 : 0;
+  const auto lat = latencies();
+  std::vector<int> labels(lat.size(), 0);
+  for (std::size_t i = 0; i < lat.size(); ++i) {
+    labels[i] = lat[i] >= thr ? 1 : 0;
   }
   return labels;
 }
 
 double Job::completion_time() const {
-  NURD_CHECK(!latencies.empty(), "job has no tasks");
-  return max_value(latencies);
+  NURD_CHECK(task_count() > 0, "job has no tasks");
+  return max_value(latencies());
 }
 
 std::vector<double> Job::normalized_latencies() const {
   const double m = completion_time();
-  std::vector<double> out(latencies.size());
-  for (std::size_t i = 0; i < latencies.size(); ++i) {
-    out[i] = m > 0.0 ? latencies[i] / m : 0.0;
+  const auto lat = latencies();
+  std::vector<double> out(lat.size());
+  for (std::size_t i = 0; i < lat.size(); ++i) {
+    out[i] = m > 0.0 ? lat[i] / m : 0.0;
   }
   return out;
 }

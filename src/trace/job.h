@@ -1,35 +1,37 @@
 // The trace data model: a Job is a set of tasks with true latencies and a
-// grid of time checkpoints, each checkpoint carrying the feature snapshot
-// and finished/running partition the online predictor would observe at that
-// moment (paper §2 "Problem formulation" and §6 "Evaluation methodology").
+// grid of time checkpoints (paper §2 "Problem formulation" and §6
+// "Evaluation methodology"). Feature observations live in a columnar
+// TraceStore — one base row-version per task plus change-detected overlays —
+// rather than the seed's per-checkpoint dense matrices; consumers observe a
+// checkpoint through a CheckpointView, which also enforces the online
+// discipline (finished latencies revealed, running latencies hidden).
 #pragma once
 
 #include <cstddef>
 #include <string>
 #include <vector>
 
-#include "common/matrix.h"
+#include "trace/checkpoint_view.h"
+#include "trace/trace_store.h"
 
 namespace nurd::trace {
 
-/// One observation instant during job execution. At horizon tau_run, tasks
-/// with latency ≤ tau_run are finished (latency revealed); the rest are
-/// running (latency known only to exceed tau_run).
-struct Checkpoint {
-  double tau_run = 0.0;                 ///< observation horizon τrun_t
-  std::vector<std::size_t> finished;    ///< task ids with y ≤ τrun_t
-  std::vector<std::size_t> running;     ///< task ids still executing
-  Matrix features;                      ///< n × d feature snapshot x_ti
-};
-
-/// A complete job trace, fully materialized for deterministic replay.
+/// A complete job trace: id + columnar feature/latency store.
 struct Job {
   std::string id;
-  std::vector<double> latencies;        ///< true latency per task
-  std::vector<Checkpoint> checkpoints;  ///< ascending τrun grid
-  std::size_t feature_count = 0;
+  TraceStore trace;  ///< latencies, checkpoint grid, columnar features
 
-  std::size_t task_count() const { return latencies.size(); }
+  std::size_t task_count() const { return trace.task_count(); }
+  std::size_t feature_count() const { return trace.feature_count(); }
+  std::size_t checkpoint_count() const { return trace.checkpoint_count(); }
+
+  /// True latency per task (ground truth; online visibility is enforced by
+  /// CheckpointView, not here).
+  std::span<const double> latencies() const { return trace.latencies(); }
+  double latency(std::size_t task) const { return trace.latency(task); }
+
+  /// The observation boundary at checkpoint `t`.
+  CheckpointView checkpoint(std::size_t t) const { return {trace, t}; }
 
   /// Straggler threshold τstra at the given latency percentile (default p90,
   /// the paper's definition).

@@ -5,7 +5,7 @@
 namespace nurd::trace {
 
 Replay::Replay(const Job& job) : job_(&job) {
-  NURD_CHECK(!job.checkpoints.empty(), "job has no checkpoints");
+  NURD_CHECK(job.checkpoint_count() > 0, "job has no checkpoints");
 }
 
 std::size_t Replay::advance() {
@@ -16,33 +16,6 @@ std::size_t Replay::advance() {
 std::size_t Replay::current_index() const {
   NURD_CHECK(next_ > 0, "advance() has not been called");
   return next_ - 1;
-}
-
-const Checkpoint& Replay::cp() const {
-  return job_->checkpoints[current_index()];
-}
-
-double Replay::tau_run() const { return cp().tau_run; }
-
-const Matrix& Replay::features() const { return cp().features; }
-
-std::span<const std::size_t> Replay::finished() const {
-  return cp().finished;
-}
-
-std::span<const std::size_t> Replay::running() const { return cp().running; }
-
-double Replay::revealed_latency(std::size_t task) const {
-  NURD_CHECK(task < job_->task_count(), "task id out of range");
-  const double y = job_->latencies[task];
-  NURD_CHECK(y <= tau_run(),
-             "latency of a still-running task is not observable online");
-  return y;
-}
-
-double Replay::finished_fraction() const {
-  return static_cast<double>(cp().finished.size()) /
-         static_cast<double>(job_->task_count());
 }
 
 }  // namespace nurd::trace

@@ -1,14 +1,13 @@
-// Streaming replay cursor over a Job's checkpoints — the §6 "simulator"
-// interface: it "replicates real execution by sending [the predictor] the
-// features that would be available at each time checkpoint". Where the Job
-// struct exposes the whole materialized trace (convenient for benches), a
-// Replay enforces the online discipline: consumers see checkpoints strictly
-// in order and can only query state for the current horizon.
+// Streaming replay cursor over a job's checkpoint stream — the §6
+// "simulator" interface: it "replicates real execution by sending [the
+// predictor] the features that would be available at each time checkpoint".
+// Replay is a thin forward-only cursor over the job's columnar TraceStore:
+// advancing yields the next CheckpointView, and the view (not the replay)
+// is what enforces which state is observable at the current horizon.
 #pragma once
 
 #include <cstddef>
 #include <span>
-#include <vector>
 
 #include "trace/job.h"
 
@@ -21,7 +20,7 @@ class Replay {
   explicit Replay(const Job& job);
 
   /// True while checkpoints remain.
-  bool has_next() const { return next_ < job_->checkpoints.size(); }
+  bool has_next() const { return next_ < job_->checkpoint_count(); }
 
   /// Advances to the next checkpoint and returns its index.
   std::size_t advance();
@@ -29,31 +28,31 @@ class Replay {
   /// Index of the current checkpoint (throws before the first advance()).
   std::size_t current_index() const;
 
-  /// The current observation horizon τrun.
-  double tau_run() const;
+  /// Observation boundary at the current checkpoint.
+  CheckpointView view() const { return job_->checkpoint(current_index()); }
 
-  /// Feature snapshot at the current checkpoint.
-  const Matrix& features() const;
+  /// The current observation horizon τrun.
+  double tau_run() const { return view().tau_run(); }
 
   /// Tasks finished by the current horizon.
-  std::span<const std::size_t> finished() const;
+  std::span<const std::size_t> finished() const { return view().finished(); }
 
   /// Tasks still running at the current horizon.
-  std::span<const std::size_t> running() const;
+  std::span<const std::size_t> running() const { return view().running(); }
 
   /// Latency of a task — ONLY available once it has finished at the current
   /// horizon; querying a still-running task throws (the online discipline).
-  double revealed_latency(std::size_t task) const;
+  double revealed_latency(std::size_t task) const {
+    return view().revealed_latency(task);
+  }
 
   /// Fraction of tasks finished at the current horizon.
-  double finished_fraction() const;
+  double finished_fraction() const { return view().finished_fraction(); }
 
   /// Resets to the beginning.
   void reset() { next_ = 0; }
 
  private:
-  const Checkpoint& cp() const;
-
   const Job* job_;
   std::size_t next_ = 0;
 };

@@ -1,0 +1,199 @@
+#include "trace/trace_store.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace nurd::trace {
+
+TraceStore::TraceStore(std::vector<double> latencies,
+                       std::size_t feature_count)
+    : d_(feature_count), latencies_(std::move(latencies)) {
+  NURD_CHECK(!latencies_.empty(), "trace store needs at least one task");
+  NURD_CHECK(d_ > 0, "trace store needs at least one feature");
+  const std::size_t n = latencies_.size();
+  by_latency_.resize(n);
+  std::iota(by_latency_.begin(), by_latency_.end(), std::size_t{0});
+  std::sort(by_latency_.begin(), by_latency_.end(),
+            [this](std::size_t a, std::size_t b) {
+              return latencies_[a] != latencies_[b]
+                         ? latencies_[a] < latencies_[b]
+                         : a < b;
+            });
+  rank_.resize(n);
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    rank_[by_latency_[pos]] = static_cast<std::uint32_t>(pos);
+  }
+  build_versions_.resize(n);
+  scratch_row_.resize(d_);
+}
+
+void TraceStore::append_checkpoint(double tau, const RowWriter& write_row) {
+  NURD_CHECK(!finalized_, "cannot append to a finalized trace store");
+  NURD_CHECK(d_ > 0, "trace store is default-constructed");
+  NURD_CHECK(taus_.empty() || tau > taus_.back(),
+             "tau_run must be strictly ascending");
+  NURD_CHECK(taus_.size() < std::numeric_limits<std::uint16_t>::max(),
+             "too many checkpoints");
+  const auto t = static_cast<std::uint32_t>(taus_.size());
+  const std::uint32_t prev_split = split_.empty() ? 0 : split_.back();
+
+  // Finished prefix length: tasks in by_latency_ order with latency <= tau.
+  const auto it = std::upper_bound(
+      by_latency_.begin(), by_latency_.end(), tau,
+      [this](double v, std::size_t task) { return v < latencies_[task]; });
+  const auto split =
+      static_cast<std::uint32_t>(std::distance(by_latency_.begin(), it));
+
+  taus_.push_back(tau);
+  split_.push_back(split);
+
+  // Observe every not-yet-frozen task: tasks finishing in (prev_tau, tau]
+  // contribute their frozen row, still-running tasks their row at tau. A row
+  // bitwise equal to the task's previous version is deduplicated.
+  for (std::size_t task = 0; task < task_count(); ++task) {
+    if (rank_[task] < prev_split) continue;  // frozen at an earlier cp
+    write_row(task, scratch_row_);
+    auto& versions = build_versions_[task];
+    if (!versions.empty()) {
+      const double* last =
+          build_data_.data() +
+          static_cast<std::size_t>(versions.back().slot) * d_;
+      if (std::memcmp(last, scratch_row_.data(), d_ * sizeof(double)) == 0) {
+        continue;  // unchanged since the previous checkpoint
+      }
+    }
+    const auto slot = static_cast<std::uint32_t>(build_data_.size() / d_);
+    build_data_.insert(build_data_.end(), scratch_row_.begin(),
+                       scratch_row_.end());
+    versions.push_back({t, slot});
+  }
+}
+
+void TraceStore::finalize() {
+  if (finalized_) return;
+  NURD_CHECK(!taus_.empty(), "cannot finalize a store with no checkpoints");
+  const std::size_t n = task_count();
+  std::size_t total = 0;
+  for (const auto& v : build_versions_) total += v.size();
+
+  version_offset_.assign(n + 1, 0);
+  version_cp_.reserve(total);
+  version_data_.reserve(total * d_);
+  for (std::size_t task = 0; task < n; ++task) {
+    for (const auto& v : build_versions_[task]) {
+      version_cp_.push_back(static_cast<std::uint16_t>(v.checkpoint));
+      const double* src =
+          build_data_.data() + static_cast<std::size_t>(v.slot) * d_;
+      version_data_.insert(version_data_.end(), src, src + d_);
+    }
+    version_offset_[task + 1] = static_cast<std::uint32_t>(version_cp_.size());
+  }
+  build_versions_.clear();
+  build_versions_.shrink_to_fit();
+  build_data_.clear();
+  build_data_.shrink_to_fit();
+  scratch_row_.clear();
+  scratch_row_.shrink_to_fit();
+  finalized_ = true;
+}
+
+void TraceStore::check_finalized() const {
+  NURD_CHECK(finalized_, "trace store must be finalized before reads");
+}
+
+double TraceStore::latency(std::size_t task) const {
+  NURD_CHECK(task < task_count(), "task id out of range");
+  return latencies_[task];
+}
+
+double TraceStore::tau_run(std::size_t t) const {
+  NURD_CHECK(t < taus_.size(), "checkpoint index out of range");
+  return taus_[t];
+}
+
+std::span<const std::size_t> TraceStore::finished(std::size_t t) const {
+  check_finalized();
+  NURD_CHECK(t < taus_.size(), "checkpoint index out of range");
+  return {by_latency_.data(), split_[t]};
+}
+
+std::span<const std::size_t> TraceStore::running(std::size_t t) const {
+  check_finalized();
+  NURD_CHECK(t < taus_.size(), "checkpoint index out of range");
+  return {by_latency_.data() + split_[t], by_latency_.size() - split_[t]};
+}
+
+bool TraceStore::is_finished(std::size_t t, std::size_t task) const {
+  NURD_CHECK(t < taus_.size(), "checkpoint index out of range");
+  NURD_CHECK(task < task_count(), "task id out of range");
+  return rank_[task] < split_[t];
+}
+
+std::size_t TraceStore::freeze_checkpoint(std::size_t task) const {
+  NURD_CHECK(task < task_count(), "task id out of range");
+  // First checkpoint whose finished prefix covers the task's rank; split_ is
+  // nondecreasing, so this is a lower bound over the split sequence.
+  const auto it =
+      std::upper_bound(split_.begin(), split_.end(), rank_[task]);
+  return it == split_.end()
+             ? kNeverFrozen
+             : static_cast<std::size_t>(std::distance(split_.begin(), it));
+}
+
+std::span<const double> TraceStore::row(std::size_t t, std::size_t task) const {
+  check_finalized();
+  NURD_CHECK(t < taus_.size(), "checkpoint index out of range");
+  NURD_CHECK(task < task_count(), "task id out of range");
+  const std::uint32_t lo = version_offset_[task];
+  const std::uint32_t hi = version_offset_[task + 1];
+  // Latest version at or before t. Every task has a version at its first
+  // checkpoint, so the search always lands.
+  const auto it = std::upper_bound(version_cp_.begin() + lo,
+                                   version_cp_.begin() + hi,
+                                   static_cast<std::uint16_t>(t));
+  const auto v = static_cast<std::size_t>(
+      std::distance(version_cp_.begin(), it) - 1);
+  return {version_data_.data() + v * d_, d_};
+}
+
+Matrix TraceStore::materialize(std::size_t t) const {
+  check_finalized();
+  NURD_CHECK(t < taus_.size(), "checkpoint index out of range");
+  Matrix m(task_count(), d_);
+  for (std::size_t task = 0; task < task_count(); ++task) {
+    const auto src = row(t, task);
+    std::copy(src.begin(), src.end(), m.row(task).begin());
+  }
+  return m;
+}
+
+std::size_t TraceStore::version_count() const {
+  check_finalized();
+  return version_cp_.size();
+}
+
+std::size_t TraceStore::memory_bytes() const {
+  check_finalized();
+  return latencies_.size() * sizeof(double) +
+         by_latency_.size() * sizeof(std::size_t) +
+         rank_.size() * sizeof(std::uint32_t) +
+         taus_.size() * sizeof(double) +
+         split_.size() * sizeof(std::uint32_t) +
+         version_offset_.size() * sizeof(std::uint32_t) +
+         version_cp_.size() * sizeof(std::uint16_t) +
+         version_data_.size() * sizeof(double);
+}
+
+std::size_t TraceStore::materialized_bytes() const {
+  const std::size_t per_checkpoint =
+      task_count() * d_ * sizeof(double) +   // dense feature matrix
+      task_count() * sizeof(std::size_t) +   // finished/running id vectors
+      sizeof(double);                        // tau_run
+  return checkpoint_count() * per_checkpoint +
+         latencies_.size() * sizeof(double);
+}
+
+}  // namespace nurd::trace

@@ -1,0 +1,145 @@
+// Columnar per-job trace storage.
+//
+// The seed data model materialized one dense n×d feature matrix PER
+// checkpoint (O(T·n·d) bytes per job). Production traces do not need that:
+// a task's observable metrics freeze the moment it completes (its counters
+// stop moving), and most running tasks' aggregate counters are temporally
+// coherent between adjacent checkpoints. TraceStore exploits both:
+//
+//   * every task stores ONE base row-version at the first checkpoint (the
+//     "base feature block");
+//   * a later checkpoint stores a row-version ONLY for tasks whose observed
+//     row actually changed (drifting running tasks, and the final frozen
+//     observation of a task completing between two checkpoints);
+//   * the finished/running partition of EVERY checkpoint is two spans into a
+//     single latency-sorted task permutation: finished sets are nested
+//     (monotone in τrun), so checkpoint t's partition is just a prefix
+//     length ("split") into that one array.
+//
+// Memory per job is O(n·d + Σ_t |changed_t|·d) — bounded above by
+// O(n·d + Σ_t |running_t|·d) since frozen tasks never change — instead of
+// O(T·n·d). bench/bench_trace.cpp measures the ratio.
+//
+// Build protocol: construct with the true latency vector, call
+// append_checkpoint() once per horizon in ascending τ order, then
+// finalize(). finalize() compacts the per-task version lists into a
+// task-major CSR index; all read accessors require a finalized store.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace nurd::trace {
+
+/// Sentinel: task is still running at the last checkpoint.
+inline constexpr std::size_t kNeverFrozen =
+    std::numeric_limits<std::size_t>::max();
+
+class TraceStore {
+ public:
+  TraceStore() = default;
+
+  /// Starts an empty store for tasks with the given true latencies, each
+  /// described by `feature_count` features.
+  TraceStore(std::vector<double> latencies, std::size_t feature_count);
+
+  /// Writes task `task`'s observed feature row (length feature_count) into
+  /// `row`. Must be a pure function of (task, current horizon).
+  using RowWriter =
+      std::function<void(std::size_t task, std::span<double> row)>;
+
+  /// Appends the next checkpoint at horizon `tau` (strictly ascending).
+  /// The store derives the finished/running partition from the latencies and
+  /// invokes `write_row` exactly once per task whose row it may need to
+  /// store: every still-running task (its drifting observation at `tau`) and
+  /// every task finishing in (prev_tau, tau] (its frozen observation at its
+  /// completion time). Tasks frozen at an earlier checkpoint are never asked
+  /// again, and a produced row that is bitwise identical to the task's
+  /// previous stored version costs no memory.
+  void append_checkpoint(double tau, const RowWriter& write_row);
+
+  /// Seals the store: compacts the version index. Idempotent.
+  void finalize();
+  bool finalized() const { return finalized_; }
+
+  std::size_t task_count() const { return latencies_.size(); }
+  std::size_t feature_count() const { return d_; }
+  std::size_t checkpoint_count() const { return taus_.size(); }
+
+  /// True per-task latencies (the trace ground truth). Whether a caller may
+  /// look at a specific task's latency at a specific horizon is enforced one
+  /// layer up, by CheckpointView::revealed_latency.
+  std::span<const double> latencies() const { return latencies_; }
+  double latency(std::size_t task) const;
+
+  /// Observation horizon τrun of checkpoint `t`.
+  double tau_run(std::size_t t) const;
+
+  /// Tasks finished by checkpoint `t`, in ascending-latency order.
+  std::span<const std::size_t> finished(std::size_t t) const;
+
+  /// Tasks still running at checkpoint `t`, in ascending-latency order.
+  std::span<const std::size_t> running(std::size_t t) const;
+
+  /// True iff `task` has finished by checkpoint `t`.
+  bool is_finished(std::size_t t, std::size_t task) const;
+
+  /// Checkpoint at which `task`'s row froze (first checkpoint where it is
+  /// finished), or kNeverFrozen.
+  std::size_t freeze_checkpoint(std::size_t task) const;
+
+  /// Task `task`'s observed feature row at checkpoint `t`: its latest stored
+  /// version at or before `t` (the frozen row once the task has finished).
+  std::span<const double> row(std::size_t t, std::size_t task) const;
+
+  /// Dense n×d snapshot of checkpoint `t` (benches, CSV export, parity
+  /// tests) — the seed's per-checkpoint matrix, reconstructed on demand.
+  Matrix materialize(std::size_t t) const;
+
+  /// Total stored row-versions (n base rows + overlay rows).
+  std::size_t version_count() const;
+
+  /// Bytes held by the sealed store (payload of every internal array).
+  std::size_t memory_bytes() const;
+
+  /// Bytes the seed's fully-materialized representation of the same trace
+  /// would occupy: T dense n×d matrices plus per-checkpoint partition index
+  /// vectors. The "before" of bench_trace's before/after comparison.
+  std::size_t materialized_bytes() const;
+
+ private:
+  void check_finalized() const;
+
+  std::size_t d_ = 0;
+  std::vector<double> latencies_;
+  std::vector<std::size_t> by_latency_;  ///< task ids sorted by (latency, id)
+  std::vector<std::uint32_t> rank_;      ///< task -> position in by_latency_
+  std::vector<double> taus_;
+  std::vector<std::uint32_t> split_;     ///< finished prefix length per cp
+
+  // Version storage during building: one (checkpoint, slot) list per task,
+  // rows appended checkpoint-major into build_data_.
+  struct BuildVersion {
+    std::uint32_t checkpoint;
+    std::uint32_t slot;
+  };
+  std::vector<std::vector<BuildVersion>> build_versions_;
+  std::vector<double> build_data_;
+  std::vector<double> scratch_row_;
+
+  // Sealed CSR index (task-major): task i's versions occupy
+  // [version_offset_[i], version_offset_[i+1]) in version_cp_ (checkpoint
+  // stamps, ascending per task) and version_data_ (rows).
+  bool finalized_ = false;
+  std::vector<std::uint32_t> version_offset_;
+  std::vector<std::uint16_t> version_cp_;
+  std::vector<double> version_data_;
+};
+
+}  // namespace nurd::trace

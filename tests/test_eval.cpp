@@ -37,12 +37,12 @@ class ScriptedPredictor final : public core::StragglerPredictor {
   ScriptedPredictor(std::size_t when, std::vector<std::size_t> which)
       : when_(when), which_(std::move(which)) {}
   std::string name() const override { return "scripted"; }
-  void initialize(const trace::Job&, double) override {}
+  void initialize(const core::JobContext&) override {}
   std::vector<std::size_t> predict_stragglers(
-      const trace::Job&, std::size_t t,
+      const trace::CheckpointView& view,
       std::span<const std::size_t> candidates) override {
     std::vector<std::size_t> out;
-    if (t != when_) return out;
+    if (view.index() != when_) return out;
     for (auto i : which_) {
       for (auto c : candidates) {
         if (c == i) out.push_back(i);
@@ -82,8 +82,8 @@ TEST(RunJob, FlaggingTrueStragglerCountsOnce) {
   const auto job = test_job();
   const auto labels = job.straggler_labels();
   // Pick a straggler that is still running at checkpoint 0.
-  std::size_t straggler = trace::Job{}.latencies.size();
-  for (auto i : job.checkpoints[0].running) {
+  std::size_t straggler = job.task_count();
+  for (auto i : job.trace.running(0)) {
     if (labels[i] == 1) {
       straggler = i;
       break;
@@ -101,7 +101,7 @@ TEST(RunJob, FlaggingNonStragglerIsFalsePositive) {
   const auto job = test_job();
   const auto labels = job.straggler_labels();
   std::size_t non = job.task_count();
-  for (auto i : job.checkpoints[0].running) {
+  for (auto i : job.trace.running(0)) {
     if (labels[i] == 0) {
       non = i;
       break;
@@ -117,8 +117,8 @@ TEST(RunJob, FlaggingNonStragglerIsFalsePositive) {
 TEST(RunJob, PerCheckpointConfusionIsCumulative) {
   const auto job = test_job();
   ScriptedPredictor p(2, std::vector<std::size_t>(
-                             job.checkpoints[2].running.begin(),
-                             job.checkpoints[2].running.end()));
+                             job.trace.running(2).begin(),
+                             job.trace.running(2).end()));
   const auto run = run_job(job, p);
   // Before checkpoint 2: no flags ⇒ zero TP and FP.
   EXPECT_EQ(run.per_checkpoint[0].tp + run.per_checkpoint[0].fp, 0u);
@@ -133,11 +133,11 @@ TEST(RunJob, FlaggedTaskNotReofferedAsCandidate) {
   class GreedyThenCount final : public core::StragglerPredictor {
    public:
     std::string name() const override { return "greedy"; }
-    void initialize(const trace::Job&, double) override {}
+    void initialize(const core::JobContext&) override {}
     std::vector<std::size_t> predict_stragglers(
-        const trace::Job&, std::size_t t,
+        const trace::CheckpointView& view,
         std::span<const std::size_t> candidates) override {
-      if (t == 0) {
+      if (view.index() == 0) {
         return {candidates.begin(), candidates.end()};
       }
       later_candidates += candidates.size();
@@ -164,7 +164,7 @@ TEST(EvaluateMethod, AveragesOverJobs) {
   EXPECT_DOUBLE_EQ(res.f1, 0.0);
   EXPECT_DOUBLE_EQ(res.tpr, 0.0);
   EXPECT_DOUBLE_EQ(res.fnr, 1.0);
-  EXPECT_EQ(res.f1_timeline.size(), jobs[0].checkpoints.size());
+  EXPECT_EQ(res.f1_timeline.size(), jobs[0].checkpoint_count());
 }
 
 TEST(RunMethod, OneRunPerJob) {

@@ -136,8 +136,12 @@ TEST(FeatureBinner, BinsAreConsistentWithEdges) {
       const auto b = binner.bin(f, r);
       ASSERT_LT(b, binner.bin_count(f));
       // x ≤ edge(b) ⟺ bin ≤ b, checked at both enclosing edges.
-      if (b > 0) EXPECT_GT(x(r, f), binner.edge(f, b - 1));
-      if (b + 1 < binner.bin_count(f)) EXPECT_LE(x(r, f), binner.edge(f, b));
+      if (b > 0) {
+        EXPECT_GT(x(r, f), binner.edge(f, b - 1));
+      }
+      if (static_cast<std::size_t>(b) + 1 < binner.bin_count(f)) {
+        EXPECT_LE(x(r, f), binner.edge(f, b));
+      }
     }
   }
 }

@@ -91,6 +91,30 @@ TEST(Matrix, SelectRowsRejectsOutOfRange) {
   EXPECT_THROW(m.select_rows(idx), std::invalid_argument);
 }
 
+TEST(Matrix, ResetKeepsCapacityForScratchReuse) {
+  Matrix m;
+  m.reserve_rows(4);
+  m.push_row(std::vector<double>{1.0, 2.0});
+  m.push_row(std::vector<double>{3.0, 4.0});
+  const auto* data = m.flat().data();
+  m.reset(2);
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.cols(), 2u);
+  m.push_row(std::vector<double>{5.0, 6.0});
+  // Refilling within the old capacity reuses the same allocation.
+  EXPECT_EQ(m.flat().data(), data);
+  EXPECT_DOUBLE_EQ(m(0, 1), 6.0);
+}
+
+TEST(Matrix, ResetCanChangeWidth) {
+  Matrix m(3, 2, 1.0);
+  m.reset(5);
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 5u);
+  m.push_row(std::vector<double>(5, 2.0));
+  EXPECT_EQ(m.rows(), 1u);
+}
+
 TEST(Matrix, ColMeansAndStddevs) {
   Matrix m{{1, 10}, {3, 10}};
   const auto mu = m.col_means();

@@ -41,13 +41,17 @@ TEST_P(GeneratorPropertyTest, JobInvariantsHold) {
   const auto job = gen.generate(1)[0];
 
   // Latencies positive, checkpoints strictly ascending, partitions exact.
-  for (double y : job.latencies) EXPECT_GT(y, 0.0);
+  for (double y : job.latencies()) EXPECT_GT(y, 0.0);
   double prev = 0.0;
-  for (const auto& cp : job.checkpoints) {
-    EXPECT_GT(cp.tau_run, prev);
-    prev = cp.tau_run;
-    EXPECT_EQ(cp.finished.size() + cp.running.size(), job.task_count());
-    for (double v : cp.features.flat()) EXPECT_TRUE(std::isfinite(v));
+  for (std::size_t t = 0; t < job.checkpoint_count(); ++t) {
+    const auto view = job.checkpoint(t);
+    EXPECT_GT(view.tau_run(), prev);
+    prev = view.tau_run();
+    EXPECT_EQ(view.finished().size() + view.running().size(),
+              job.task_count());
+    for (std::size_t i = 0; i < job.task_count(); ++i) {
+      for (double v : view.row(i)) EXPECT_TRUE(std::isfinite(v));
+    }
   }
   // The p90 threshold is inside the latency range.
   const double tau = job.straggler_threshold();
@@ -100,8 +104,7 @@ TEST_P(NurdProtocolTest, FlagsAreStickyAndCountsConsistent) {
   // A flag time points at a checkpoint where the task was still running.
   for (std::size_t i = 0; i < job.task_count(); ++i) {
     if (run.flagged_at[i] == eval::kNeverFlagged) continue;
-    EXPECT_GT(job.latencies[i],
-              job.checkpoints[run.flagged_at[i]].tau_run);
+    EXPECT_GT(job.latency(i), job.trace.tau_run(run.flagged_at[i]));
   }
 }
 
@@ -115,7 +118,14 @@ TEST_P(NurdProtocolTest, WeightAlwaysInEpsilonOneRange) {
   params.alpha = GetParam().alpha;
   params.epsilon = GetParam().epsilon;
   core::NurdPredictor predictor(params);
-  predictor.initialize(job, job.straggler_threshold());
+  core::JobContext ctx;
+  ctx.job_id = job.id;
+  ctx.task_count = job.task_count();
+  ctx.feature_count = job.feature_count();
+  ctx.checkpoint_count = job.checkpoint_count();
+  ctx.tau_stra = job.straggler_threshold();
+  predictor.initialize(ctx);
+  predictor.calibrate(job.checkpoint(0));
   for (double z : {0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0}) {
     const double w = predictor.weight(z);
     EXPECT_GE(w, params.epsilon);

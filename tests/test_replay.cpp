@@ -26,7 +26,7 @@ TEST(Replay, WalksAllCheckpointsInOrder) {
     prev_tau = replay.tau_run();
     ++count;
   }
-  EXPECT_EQ(count, job.checkpoints.size());
+  EXPECT_EQ(count, job.checkpoint_count());
 }
 
 TEST(Replay, QueriesBeforeFirstAdvanceThrow) {
@@ -61,14 +61,14 @@ TEST(Replay, LateCheckpointRevealsEarlierRunner) {
   // Pick a task running at the first checkpoint that finishes mid-job.
   std::size_t task = job.task_count();
   for (auto i : replay.running()) {
-    if (job.latencies[i] <= job.checkpoints[5].tau_run) {
+    if (job.latency(i) <= job.trace.tau_run(5)) {
       task = i;
       break;
     }
   }
   ASSERT_LT(task, job.task_count());
   while (replay.current_index() < 5) replay.advance();
-  EXPECT_DOUBLE_EQ(replay.revealed_latency(task), job.latencies[task]);
+  EXPECT_DOUBLE_EQ(replay.revealed_latency(task), job.latency(task));
 }
 
 TEST(Replay, FinishedFractionIsMonotone) {
@@ -92,11 +92,15 @@ TEST(Replay, ResetRestarts) {
   EXPECT_EQ(replay.advance(), 0u);
 }
 
-TEST(Replay, FeaturesMatchJobSnapshot) {
+TEST(Replay, ViewIsBackedByTheColumnarStore) {
   const auto job = test_job();
   Replay replay(job);
   replay.advance();
-  EXPECT_EQ(&replay.features(), &job.checkpoints[0].features);
+  const auto view = replay.view();
+  EXPECT_EQ(view.index(), 0u);
+  // Rows come straight from the store's version data — no copies.
+  EXPECT_EQ(view.row(0).data(), job.trace.row(0, 0).data());
+  EXPECT_EQ(view.finished().data(), job.trace.finished(0).data());
 }
 
 }  // namespace

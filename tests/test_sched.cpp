@@ -12,17 +12,13 @@ trace::Job toy_job() {
   trace::Job job;
   job.id = "toy";
   // One dominant straggler (latency 100) and nine fast tasks.
-  job.latencies = {10, 11, 12, 13, 14, 15, 16, 17, 18, 100};
-  job.feature_count = 1;
+  job.trace =
+      trace::TraceStore({10, 11, 12, 13, 14, 15, 16, 17, 18, 100}, 1);
   for (double tau : {12.5, 20.0, 50.0, 99.0}) {
-    trace::Checkpoint cp;
-    cp.tau_run = tau;
-    cp.features = Matrix(job.latencies.size(), 1, 0.0);
-    for (std::size_t i = 0; i < job.latencies.size(); ++i) {
-      (job.latencies[i] <= tau ? cp.finished : cp.running).push_back(i);
-    }
-    job.checkpoints.push_back(std::move(cp));
+    job.trace.append_checkpoint(
+        tau, [](std::size_t, std::span<double> row) { row[0] = 0.0; });
   }
+  job.trace.finalize();
   return job;
 }
 

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 
 #include "common/stats.h"
@@ -37,11 +38,40 @@ TEST(Generator, DeterministicGivenSeed) {
   const auto ja = a.generate(3);
   const auto jb = b.generate(3);
   for (std::size_t j = 0; j < 3; ++j) {
-    EXPECT_EQ(ja[j].latencies, jb[j].latencies);
-    EXPECT_EQ(ja[j].checkpoints[0].features.flat().size(),
-              jb[j].checkpoints[0].features.flat().size());
-    EXPECT_DOUBLE_EQ(ja[j].checkpoints[2].features(0, 0),
-                     jb[j].checkpoints[2].features(0, 0));
+    EXPECT_EQ(std::vector<double>(ja[j].latencies().begin(),
+                                  ja[j].latencies().end()),
+              std::vector<double>(jb[j].latencies().begin(),
+                                  jb[j].latencies().end()));
+    EXPECT_EQ(ja[j].trace.version_count(), jb[j].trace.version_count());
+    EXPECT_DOUBLE_EQ(ja[j].trace.row(2, 0)[0], jb[j].trace.row(2, 0)[0]);
+  }
+}
+
+TEST(Generator, ParallelGenerationBitIdentical) {
+  // Per-job RNG streams are forked in a serial prefix pass, so any thread
+  // count produces the same jobs.
+  GoogleLikeGenerator serial(small_config());
+  GoogleLikeGenerator threaded(small_config());
+  const auto ja = serial.generate(6, /*threads=*/1);
+  const auto jb = threaded.generate(6, /*threads=*/4);
+  ASSERT_EQ(ja.size(), jb.size());
+  for (std::size_t j = 0; j < ja.size(); ++j) {
+    EXPECT_EQ(ja[j].id, jb[j].id);
+    ASSERT_EQ(ja[j].task_count(), jb[j].task_count());
+    for (std::size_t i = 0; i < ja[j].task_count(); ++i) {
+      EXPECT_DOUBLE_EQ(ja[j].latency(i), jb[j].latency(i));
+    }
+    ASSERT_EQ(ja[j].checkpoint_count(), jb[j].checkpoint_count());
+    for (std::size_t t = 0; t < ja[j].checkpoint_count(); ++t) {
+      EXPECT_DOUBLE_EQ(ja[j].trace.tau_run(t), jb[j].trace.tau_run(t));
+      for (std::size_t i = 0; i < ja[j].task_count(); ++i) {
+        const auto ra = ja[j].trace.row(t, i);
+        const auto rb = jb[j].trace.row(t, i);
+        for (std::size_t f = 0; f < ra.size(); ++f) {
+          EXPECT_DOUBLE_EQ(ra[f], rb[f]);
+        }
+      }
+    }
   }
 }
 
@@ -50,7 +80,12 @@ TEST(Generator, DifferentSeedsDifferentJobs) {
   auto c2 = small_config();
   c2.seed += 1;
   GoogleLikeGenerator a(c1), b(c2);
-  EXPECT_NE(a.generate(1)[0].latencies, b.generate(1)[0].latencies);
+  const auto ja = a.generate(1);
+  const auto jb = b.generate(1);
+  const auto la = ja[0].latencies();
+  const auto lb = jb[0].latencies();
+  EXPECT_NE(std::vector<double>(la.begin(), la.end()),
+            std::vector<double>(lb.begin(), lb.end()));
 }
 
 TEST(Generator, StragglerLabelsAreTenPercentAtP90) {
@@ -68,9 +103,9 @@ TEST(Generator, CheckpointsAscendingAndBelowCompletion) {
   GoogleLikeGenerator gen(small_config());
   const auto job = gen.generate(1)[0];
   double prev = 0.0;
-  for (const auto& cp : job.checkpoints) {
-    EXPECT_GT(cp.tau_run, prev);
-    prev = cp.tau_run;
+  for (std::size_t t = 0; t < job.checkpoint_count(); ++t) {
+    EXPECT_GT(job.trace.tau_run(t), prev);
+    prev = job.trace.tau_run(t);
   }
   EXPECT_LT(prev, job.completion_time());
 }
@@ -78,12 +113,16 @@ TEST(Generator, CheckpointsAscendingAndBelowCompletion) {
 TEST(Generator, FinishedRunningPartitionConsistent) {
   GoogleLikeGenerator gen(small_config());
   const auto job = gen.generate(1)[0];
-  for (const auto& cp : job.checkpoints) {
-    EXPECT_EQ(cp.finished.size() + cp.running.size(), job.task_count());
-    for (auto i : cp.finished) EXPECT_LE(job.latencies[i], cp.tau_run);
-    for (auto i : cp.running) EXPECT_GT(job.latencies[i], cp.tau_run);
-    std::set<std::size_t> all(cp.finished.begin(), cp.finished.end());
-    all.insert(cp.running.begin(), cp.running.end());
+  for (std::size_t t = 0; t < job.checkpoint_count(); ++t) {
+    const auto view = job.checkpoint(t);
+    EXPECT_EQ(view.finished().size() + view.running().size(),
+              job.task_count());
+    for (auto i : view.finished()) {
+      EXPECT_LE(job.latency(i), view.tau_run());
+    }
+    for (auto i : view.running()) EXPECT_GT(job.latency(i), view.tau_run());
+    std::set<std::size_t> all(view.finished().begin(), view.finished().end());
+    all.insert(view.running().begin(), view.running().end());
     EXPECT_EQ(all.size(), job.task_count());
   }
 }
@@ -91,25 +130,27 @@ TEST(Generator, FinishedRunningPartitionConsistent) {
 TEST(Generator, FinishedSetGrowsMonotonically) {
   GoogleLikeGenerator gen(small_config());
   const auto job = gen.generate(1)[0];
-  for (std::size_t t = 1; t < job.checkpoints.size(); ++t) {
-    EXPECT_GE(job.checkpoints[t].finished.size(),
-              job.checkpoints[t - 1].finished.size());
+  for (std::size_t t = 1; t < job.checkpoint_count(); ++t) {
+    EXPECT_GE(job.trace.finished(t).size(),
+              job.trace.finished(t - 1).size());
   }
 }
 
 TEST(Generator, LastCheckpointStillHasRunningTasks) {
   GoogleLikeGenerator gen(small_config());
   for (const auto& job : gen.generate(5)) {
-    EXPECT_FALSE(job.checkpoints.back().running.empty());
+    EXPECT_FALSE(job.trace.running(job.checkpoint_count() - 1).empty());
   }
 }
 
-TEST(Generator, FeatureMatrixShape) {
+TEST(Generator, FeatureRowShape) {
   GoogleLikeGenerator gen(small_config());
   const auto job = gen.generate(1)[0];
-  for (const auto& cp : job.checkpoints) {
-    EXPECT_EQ(cp.features.rows(), job.task_count());
-    EXPECT_EQ(cp.features.cols(), google_schema().size());
+  EXPECT_EQ(job.feature_count(), google_schema().size());
+  for (std::size_t t = 0; t < job.checkpoint_count(); ++t) {
+    for (std::size_t i = 0; i < job.task_count(); ++i) {
+      EXPECT_EQ(job.trace.row(t, i).size(), google_schema().size());
+    }
   }
 }
 
@@ -143,35 +184,68 @@ TEST(Generator, InitialCheckpointRespectsWarmup) {
   // At the first checkpoint at least the initial 4% of tasks have finished.
   const auto warm = static_cast<std::size_t>(
       0.04 * static_cast<double>(job.task_count()));
-  EXPECT_GE(job.checkpoints.front().finished.size(), warm);
+  EXPECT_GE(job.trace.finished(0).size(), warm);
 }
 
 TEST(Generator, FeaturesFreezeAfterCompletion) {
-  // A task that finished long ago keeps (statistically) stable features:
-  // its cause-signature ramp stops at its completion progress. Verify the
-  // expected component is identical across late checkpoints by comparing a
-  // fast task's feature drift between consecutive snapshots against a
-  // still-running straggler's.
+  // A finished task's observable metrics stop moving: its row at every
+  // checkpoint after its freeze horizon is EXACTLY its frozen observation
+  // (the columnar store stores that row-version once).
   GoogleLikeGenerator gen(small_config());
   const auto job = gen.generate(1)[0];
-  const auto& first = job.checkpoints.front();
-  ASSERT_FALSE(first.finished.empty());
-  // Smoke property: snapshots exist and are finite everywhere.
-  for (const auto& cp : job.checkpoints) {
-    for (double v : cp.features.flat()) EXPECT_TRUE(std::isfinite(v));
+  for (std::size_t i = 0; i < job.task_count(); ++i) {
+    const auto freeze = job.trace.freeze_checkpoint(i);
+    if (freeze == kNeverFrozen) continue;
+    const auto frozen = job.trace.row(freeze, i);
+    for (std::size_t t = freeze + 1; t < job.checkpoint_count(); ++t) {
+      EXPECT_EQ(job.trace.row(t, i).data(), frozen.data())
+          << "task " << i << " drifted after freezing";
+    }
+  }
+  // Snapshots stay finite everywhere.
+  for (std::size_t t = 0; t < job.checkpoint_count(); ++t) {
+    for (std::size_t i = 0; i < job.task_count(); ++i) {
+      for (double v : job.trace.row(t, i)) EXPECT_TRUE(std::isfinite(v));
+    }
   }
 }
 
+TEST(Generator, RunningStragglersDriftBetweenCheckpoints) {
+  // The cause signature builds with elapsed time, so a straggler running at
+  // two consecutive checkpoints must show different rows (the NU bias the
+  // propensity model exploits).
+  auto c = small_config();
+  c.regime = TailRegime::kFar;
+  GoogleLikeGenerator gen(c);
+  const auto job = gen.generate(1)[0];
+  const auto labels = job.straggler_labels();
+  std::size_t drifting = 0;
+  for (auto i : job.trace.running(1)) {
+    if (labels[i] != 1) continue;
+    const auto r0 = job.trace.row(0, i);
+    const auto r1 = job.trace.row(1, i);
+    for (std::size_t f = 0; f < r0.size(); ++f) {
+      if (r0[f] != r1[f]) {
+        ++drifting;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(drifting, 0u);
+}
+
 TEST(Job, StragglerThresholdMatchesPercentile) {
+  TraceStore store({1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 1);
   Job job;
-  job.latencies = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
-  EXPECT_DOUBLE_EQ(job.straggler_threshold(90.0),
-                   percentile(job.latencies, 90.0));
+  job.trace = std::move(store);
+  const std::vector<double> lat(job.latencies().begin(),
+                                job.latencies().end());
+  EXPECT_DOUBLE_EQ(job.straggler_threshold(90.0), percentile(lat, 90.0));
 }
 
 TEST(Job, NormalizedLatenciesInUnitInterval) {
   Job job;
-  job.latencies = {2.0, 4.0, 8.0};
+  job.trace = TraceStore({2.0, 4.0, 8.0}, 1);
   const auto norm = job.normalized_latencies();
   EXPECT_DOUBLE_EQ(norm[2], 1.0);
   EXPECT_DOUBLE_EQ(norm[0], 0.25);
@@ -189,8 +263,8 @@ TEST(Generator, AlibabaJobsUseFourFeatures) {
   c.max_tasks = 120;
   AlibabaLikeGenerator gen(c);
   const auto job = gen.generate(1)[0];
-  EXPECT_EQ(job.feature_count, 4u);
-  EXPECT_EQ(job.checkpoints[0].features.cols(), 4u);
+  EXPECT_EQ(job.feature_count(), 4u);
+  EXPECT_EQ(job.trace.row(0, 0).size(), 4u);
 }
 
 TEST(Generator, RejectsBadConfig) {

@@ -1,0 +1,221 @@
+#include "trace/trace_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "trace/checkpoint_view.h"
+#include "trace/generator.h"
+
+namespace nurd::trace {
+namespace {
+
+std::vector<std::size_t> vec(std::span<const std::size_t> s) {
+  return {s.begin(), s.end()};
+}
+
+// Hand-built store: 4 tasks with known latencies, 2 features, 3 checkpoints.
+// Rows encode (task, horizon) so reconstruction is checkable by eye.
+TraceStore tiny_store() {
+  TraceStore store({1.0, 5.0, 9.0, 20.0}, 2);
+  for (const double tau : {2.0, 6.0, 10.0}) {
+    store.append_checkpoint(tau, [tau](std::size_t task,
+                                       std::span<double> row) {
+      row[0] = static_cast<double>(task);
+      row[1] = 100.0 * static_cast<double>(task) + tau;
+    });
+  }
+  store.finalize();
+  return store;
+}
+
+TEST(TraceStore, PartitionIsLatencySortedPrefix) {
+  const auto store = tiny_store();
+  ASSERT_EQ(store.checkpoint_count(), 3u);
+  EXPECT_EQ(vec(store.finished(0)), (std::vector<std::size_t>{0}));
+  EXPECT_EQ(vec(store.running(0)), (std::vector<std::size_t>{1, 2, 3}));
+  EXPECT_EQ(vec(store.finished(1)), (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(vec(store.finished(2)), (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(vec(store.running(2)), (std::vector<std::size_t>{3}));
+  // The two spans tile one underlying permutation.
+  EXPECT_EQ(store.finished(1).data() + store.finished(1).size(),
+            store.running(1).data());
+}
+
+TEST(TraceStore, FreezeOnFinish) {
+  const auto store = tiny_store();
+  // Task 0 (latency 1) froze at checkpoint 0 with its completion
+  // observation; it is never re-observed.
+  EXPECT_EQ(store.freeze_checkpoint(0), 0u);
+  EXPECT_EQ(store.freeze_checkpoint(1), 1u);
+  EXPECT_EQ(store.freeze_checkpoint(2), 2u);
+  EXPECT_EQ(store.freeze_checkpoint(3), kNeverFrozen);
+  // Frozen rows are the same stored version at every later checkpoint.
+  EXPECT_EQ(store.row(0, 0).data(), store.row(2, 0).data());
+  EXPECT_DOUBLE_EQ(store.row(2, 0)[1], 2.0);  // observed at tau = 2
+  // A running task's row tracks the horizon.
+  EXPECT_DOUBLE_EQ(store.row(0, 3)[1], 302.0);
+  EXPECT_DOUBLE_EQ(store.row(2, 3)[1], 310.0);
+}
+
+TEST(TraceStore, ChangeDetectionDeduplicatesStaticRows) {
+  // Rows independent of the horizon: only the base versions are stored no
+  // matter how many checkpoints stream by.
+  TraceStore store({1.0, 10.0, 10.0}, 3);
+  for (const double tau : {2.0, 4.0, 6.0, 8.0}) {
+    store.append_checkpoint(tau, [](std::size_t task, std::span<double> row) {
+      for (auto& v : row) v = static_cast<double>(task) + 0.5;
+    });
+  }
+  store.finalize();
+  EXPECT_EQ(store.version_count(), 3u);  // one version per task, ever
+  EXPECT_EQ(store.row(0, 1).data(), store.row(3, 1).data());
+}
+
+TEST(TraceStore, IsFinishedMatchesPartition) {
+  const auto store = tiny_store();
+  for (std::size_t t = 0; t < store.checkpoint_count(); ++t) {
+    for (std::size_t i = 0; i < store.task_count(); ++i) {
+      EXPECT_EQ(store.is_finished(t, i), store.latency(i) <= store.tau_run(t));
+    }
+  }
+}
+
+TEST(TraceStore, MaterializeReconstructsEveryRow) {
+  const auto store = tiny_store();
+  for (std::size_t t = 0; t < store.checkpoint_count(); ++t) {
+    const Matrix snap = store.materialize(t);
+    ASSERT_EQ(snap.rows(), store.task_count());
+    ASSERT_EQ(snap.cols(), store.feature_count());
+    for (std::size_t i = 0; i < store.task_count(); ++i) {
+      const auto expect = store.row(t, i);
+      for (std::size_t f = 0; f < expect.size(); ++f) {
+        EXPECT_DOUBLE_EQ(snap(i, f), expect[f]);
+      }
+    }
+  }
+}
+
+TEST(TraceStore, TiedLatenciesLandOnOneSideOfTheSplit) {
+  TraceStore store({3.0, 3.0, 7.0}, 1);
+  store.append_checkpoint(3.0, [](std::size_t, std::span<double> row) {
+    row[0] = 0.0;
+  });
+  store.append_checkpoint(5.0, [](std::size_t, std::span<double> row) {
+    row[0] = 1.0;
+  });
+  store.finalize();
+  EXPECT_EQ(vec(store.finished(0)), (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(vec(store.running(0)), (std::vector<std::size_t>{2}));
+}
+
+TEST(TraceStore, BuildProtocolViolationsThrow) {
+  TraceStore store({1.0, 2.0}, 1);
+  store.append_checkpoint(1.5, [](std::size_t, std::span<double> row) {
+    row[0] = 0.0;
+  });
+  // Non-ascending tau.
+  EXPECT_THROW(store.append_checkpoint(
+                   1.5, [](std::size_t, std::span<double>) {}),
+               std::invalid_argument);
+  // Reads before finalize.
+  EXPECT_THROW(store.row(0, 0), std::invalid_argument);
+  EXPECT_THROW(store.finished(0), std::invalid_argument);
+  store.finalize();
+  // Appends after finalize.
+  EXPECT_THROW(store.append_checkpoint(
+                   9.0, [](std::size_t, std::span<double>) {}),
+               std::invalid_argument);
+  // Out-of-range reads.
+  EXPECT_THROW(store.row(5, 0), std::invalid_argument);
+  EXPECT_THROW(store.row(0, 9), std::invalid_argument);
+  EXPECT_THROW(store.tau_run(7), std::invalid_argument);
+}
+
+TEST(TraceStore, RejectsDegenerateConstruction) {
+  EXPECT_THROW(TraceStore({}, 3), std::invalid_argument);
+  EXPECT_THROW(TraceStore({1.0}, 0), std::invalid_argument);
+}
+
+TEST(TraceStore, WriterCalledOncePerNeededRowOnly) {
+  TraceStore store({1.0, 5.0, 20.0}, 1);
+  std::vector<std::size_t> calls;
+  const auto writer = [&calls](std::size_t task, std::span<double> row) {
+    calls.push_back(task);
+    row[0] = static_cast<double>(task);
+  };
+  store.append_checkpoint(2.0, writer);   // task 0 freezes; 1, 2 running
+  EXPECT_EQ(calls, (std::vector<std::size_t>{0, 1, 2}));
+  calls.clear();
+  store.append_checkpoint(6.0, writer);   // task 1 freezes; 0 never asked
+  EXPECT_EQ(calls, (std::vector<std::size_t>{1, 2}));
+  calls.clear();
+  store.append_checkpoint(10.0, writer);  // only task 2 still observed
+  EXPECT_EQ(calls, (std::vector<std::size_t>{2}));
+}
+
+TEST(TraceStore, ColumnarBeatsMaterializedMemoryOnGeneratedJobs) {
+  auto c = GoogleLikeGenerator::google_defaults();
+  c.min_tasks = 120;
+  c.max_tasks = 160;
+  GoogleLikeGenerator gen(c);
+  for (const auto& job : gen.generate(4)) {
+    EXPECT_LT(job.trace.memory_bytes(), job.trace.materialized_bytes() / 2)
+        << "columnar store should be far below the dense representation";
+    EXPECT_GE(job.trace.version_count(), job.task_count());
+  }
+}
+
+TEST(CheckpointViewTest, EnforcesOnlineDiscipline) {
+  const auto store = tiny_store();
+  const CheckpointView view(store, 1);
+  for (auto i : view.finished()) {
+    EXPECT_DOUBLE_EQ(view.revealed_latency(i), store.latency(i));
+  }
+  for (auto i : view.running()) {
+    EXPECT_THROW(view.revealed_latency(i), std::invalid_argument);
+  }
+}
+
+TEST(CheckpointViewTest, GatherRowsReusesCapacity) {
+  const auto store = tiny_store();
+  const CheckpointView view(store, 2);
+  Matrix scratch;
+  view.gather_rows(view.finished(), &scratch);
+  EXPECT_EQ(scratch.rows(), view.finished().size());
+  const auto* before = scratch.flat().data();
+  // A second gather of no more rows must not reallocate.
+  view.gather_rows(view.finished(), &scratch);
+  EXPECT_EQ(scratch.flat().data(), before);
+  ASSERT_EQ(scratch.cols(), 2u);
+  EXPECT_DOUBLE_EQ(scratch(0, 0), 0.0);  // finished order: task 0 first
+}
+
+TEST(CheckpointViewTest, DenseBackedViewMatchesColumnar) {
+  const auto store = tiny_store();
+  for (std::size_t t = 0; t < store.checkpoint_count(); ++t) {
+    const Matrix snap = store.materialize(t);
+    const CheckpointView columnar(store, t);
+    const CheckpointView dense(store, t, snap);
+    EXPECT_EQ(columnar.finished().data(), dense.finished().data());
+    for (std::size_t i = 0; i < store.task_count(); ++i) {
+      const auto a = columnar.row(i);
+      const auto b = dense.row(i);
+      for (std::size_t f = 0; f < a.size(); ++f) {
+        EXPECT_DOUBLE_EQ(a[f], b[f]);
+      }
+    }
+  }
+}
+
+TEST(CheckpointViewTest, FinishedLatenciesInFinishedOrder) {
+  const auto store = tiny_store();
+  const CheckpointView view(store, 2);
+  std::vector<double> lat;
+  view.finished_latencies(&lat);
+  EXPECT_EQ(lat, (std::vector<double>{1.0, 5.0, 9.0}));
+}
+
+}  // namespace
+}  // namespace nurd::trace

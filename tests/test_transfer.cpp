@@ -39,11 +39,12 @@ TEST(TransferModel, PoolsAllSourceTasks) {
 TEST(TransferModel, PredictionScalesWithMedian) {
   const auto model = fitted_model();
   const auto jobs = source_jobs(1, 557);
-  const auto& cp = jobs[0].checkpoints.back();
-  const auto mu = cp.features.col_means();
-  const auto sd = cp.features.col_stddevs();
-  const double p1 = model->predict(cp.features.row(0), mu, sd, 100.0);
-  const double p2 = model->predict(cp.features.row(0), mu, sd, 200.0);
+  const Matrix features =
+      jobs[0].trace.materialize(jobs[0].checkpoint_count() - 1);
+  const auto mu = features.col_means();
+  const auto sd = features.col_stddevs();
+  const double p1 = model->predict(features.row(0), mu, sd, 100.0);
+  const double p2 = model->predict(features.row(0), mu, sd, 200.0);
   EXPECT_NEAR(p2, 2.0 * p1, 1e-9);
   EXPECT_GT(p1, 0.0);
 }
@@ -53,14 +54,15 @@ TEST(TransferModel, TransfersSlownessOrdering) {
   // latencies above the median non-straggler prediction.
   const auto model = fitted_model();
   const auto target = source_jobs(1, 600)[0];
-  const auto& cp = target.checkpoints.back();
-  const auto mu = cp.features.col_means();
-  const auto sd = cp.features.col_stddevs();
+  const Matrix features =
+      target.trace.materialize(target.checkpoint_count() - 1);
+  const auto mu = features.col_means();
+  const auto sd = features.col_stddevs();
   const auto labels = target.straggler_labels();
   double mean_strag = 0.0, mean_non = 0.0;
   std::size_t n_strag = 0, n_non = 0;
   for (std::size_t i = 0; i < target.task_count(); ++i) {
-    const double p = model->predict(cp.features.row(i), mu, sd, 1.0);
+    const double p = model->predict(features.row(i), mu, sd, 1.0);
     if (labels[i] == 1) {
       mean_strag += p;
       ++n_strag;
