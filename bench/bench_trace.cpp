@@ -115,7 +115,7 @@ int main(int argc, char** argv) {
       trace::Replay replay(job);
       while (replay.has_next()) {
         replay.advance();
-        const auto view = replay.view();
+        const auto& view = replay.view();
         for (std::size_t i = 0; i < view.task_count(); ++i) {
           checksum += view.row(i)[0];
           ++rows_read;

@@ -116,7 +116,7 @@ void BM_NurdCheckpoint(benchmark::State& state) {
     core::NurdPredictor nurd;
     nurd.initialize(ctx);
     benchmark::DoNotOptimize(
-        nurd.predict_stragglers(view, job.trace.running(2)));
+        nurd.predict_stragglers(view, view.running()));
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }

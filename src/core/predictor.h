@@ -41,7 +41,9 @@ class OfflineSample {
   explicit OfflineSample(std::vector<int> straggler_labels)
       : labels_(std::move(straggler_labels)) {}
 
-  /// True straggler labels (1 = straggler) at the operator threshold.
+  /// True straggler labels (1 = straggler) at the protocol's fixed p90
+  /// threshold (the harness builds them with straggler_labels(90.0)
+  /// regardless of the evaluation percentile).
   std::span<const int> labels() const { return labels_; }
   std::size_t task_count() const { return labels_.size(); }
 

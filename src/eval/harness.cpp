@@ -31,11 +31,14 @@ JobRunResult run_job(const trace::Job& job,
   result.per_checkpoint.resize(T);
 
   // The predictor sees static metadata only; privileged methods (Wrangler)
-  // additionally receive the offline-label capability, explicitly.
+  // additionally receive the offline-label capability, explicitly. The
+  // capability carries the FIXED p90 labels of Wrangler's published protocol
+  // (§6), not the evaluation percentile: scoring a run at pct != 90 must not
+  // quietly retrain Wrangler on different privileged labels.
   core::JobContext context = make_job_context(job, tau_stra);
   std::optional<core::OfflineSample> offline;
   if (predictor.privilege() == core::Privilege::kOfflineLabels) {
-    offline.emplace(labels);
+    offline.emplace(pct == 90.0 ? labels : job.straggler_labels(90.0));
     context.offline = &*offline;
   }
   predictor.initialize(context);

@@ -8,6 +8,7 @@ CheckpointView::CheckpointView(const TraceStore& store, std::size_t t)
     : store_(&store), t_(t) {
   NURD_CHECK(store.finalized(), "trace store must be finalized");
   NURD_CHECK(t < store.checkpoint_count(), "checkpoint index out of range");
+  store.partition(t, &finished_ids_, &running_ids_);
 }
 
 CheckpointView::CheckpointView(const TraceStore& store, std::size_t t,
@@ -18,6 +19,14 @@ CheckpointView::CheckpointView(const TraceStore& store, std::size_t t,
   NURD_CHECK(snapshot.rows() == store.task_count() &&
                  snapshot.cols() == store.feature_count(),
              "snapshot shape does not match the store");
+  store.partition(t, &finished_ids_, &running_ids_);
+}
+
+void CheckpointView::rebind(std::size_t t) {
+  NURD_CHECK(dense_ == nullptr, "cannot rebind a dense-backed view");
+  NURD_CHECK(t < store_->checkpoint_count(), "checkpoint index out of range");
+  t_ = t;
+  store_->partition(t, &finished_ids_, &running_ids_);
 }
 
 double CheckpointView::finished_fraction() const {

@@ -1,7 +1,14 @@
 // The online observation boundary. A CheckpointView is everything a
 // predictor may legally see at one horizon τrun_t:
 //
-//   * the finished/running partition and the horizon itself;
+//   * the finished/running partition and the horizon itself, both sides
+//     enumerated in ascending TASK-ID order. The ordering is part of the
+//     discipline: the store internally partitions via a latency-sorted
+//     permutation, and handing that order out would present still-running
+//     tasks ranked by their unrevealed latencies — a future-information
+//     oracle for any order-sensitive predictor. Task-id order is a function
+//     of revealed information only (it also matches the seed's enumeration,
+//     keeping floating-point accumulation order reproducible);
 //   * every task's CURRENT feature row (finished tasks frozen at their
 //     completion, running tasks at τrun_t);
 //   * the latency of a task ONLY once it has finished — querying a running
@@ -10,10 +17,12 @@
 //     available at each time checkpoint") from a convention into an
 //     enforced interface: predictors receive a view, not the job.
 //
-// Views are cheap value types (three pointers). The row accessor is
-// normally backed by the columnar TraceStore; the alternate constructor
-// backs it by a dense materialized snapshot instead, which is how the
-// golden-parity test proves the columnar reconstruction is exact.
+// A view owns its id-ordered partition (one O(n) pass at construction) and
+// otherwise points into the store; construct one per checkpoint, not per
+// accessor call. The row accessor is normally backed by the columnar
+// TraceStore; the alternate constructor backs it by a dense materialized
+// snapshot instead, which is how the golden-parity test proves the columnar
+// reconstruction is exact.
 #pragma once
 
 #include <cstddef>
@@ -42,13 +51,12 @@ class CheckpointView {
   std::size_t task_count() const { return store_->task_count(); }
   std::size_t feature_count() const { return store_->feature_count(); }
 
-  /// Tasks finished by this horizon (ascending latency).
-  std::span<const std::size_t> finished() const {
-    return store_->finished(t_);
-  }
+  /// Tasks finished by this horizon (ascending task id).
+  std::span<const std::size_t> finished() const { return finished_ids_; }
 
-  /// Tasks still running at this horizon (ascending latency).
-  std::span<const std::size_t> running() const { return store_->running(t_); }
+  /// Tasks still running at this horizon (ascending task id — deliberately
+  /// NOT latency order, which is unrevealed for running tasks).
+  std::span<const std::size_t> running() const { return running_ids_; }
 
   bool is_finished(std::size_t task) const {
     return store_->is_finished(t_, task);
@@ -76,10 +84,17 @@ class CheckpointView {
   /// reused `*out`.
   void finished_latencies(std::vector<double>* out) const;
 
+  /// Re-points a columnar-backed view at checkpoint `t` of the same store,
+  /// reusing the partition vectors' capacity — the replay cursor's advance
+  /// path, which would otherwise reallocate the partition every step.
+  void rebind(std::size_t t);
+
  private:
   const TraceStore* store_;
   const Matrix* dense_ = nullptr;
   std::size_t t_ = 0;
+  std::vector<std::size_t> finished_ids_;  ///< ascending task id
+  std::vector<std::size_t> running_ids_;   ///< ascending task id
 };
 
 }  // namespace nurd::trace

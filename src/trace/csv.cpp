@@ -1,7 +1,9 @@
 #include "trace/csv.h"
 
 #include <algorithm>
+#include <cstring>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <sstream>
 
@@ -47,7 +49,7 @@ void save_csv(const std::string& path, const Job& job,
   NURD_CHECK(f.good(), "write failed: " + path);
 }
 
-Job read_csv(std::istream& in, std::string id) {
+Job read_csv(std::istream& in, std::string id, std::size_t* drifted_rows) {
   std::string line;
   NURD_CHECK(static_cast<bool>(std::getline(in, line)), "empty CSV");
   const auto header = split_commas(line);
@@ -125,13 +127,41 @@ Job read_csv(std::istream& in, std::string id) {
         });
   }
   job.trace.finalize();
+
+  // Freeze-on-finish is an assumption about the file, not a guarantee: a
+  // foreign trace may keep drifting a task's features after its finish
+  // horizon. The store keeps exactly one frozen row per finished task, so
+  // such post-freeze rows cannot round-trip; count the ones that differ from
+  // the frozen observation and surface the loss instead of dropping it
+  // silently.
+  std::size_t drifted = 0;
+  for (const auto& [cp_idx, tasks] : rows) {
+    for (const auto& [task, feats] : tasks) {
+      if (cp_idx <= job.trace.freeze_checkpoint(task)) continue;
+      const auto stored = job.trace.row(cp_idx, task);
+      // Bitwise, like the store's own change detection (NaN repeats a
+      // frozen NaN exactly; operator== would miscount it as drift).
+      if (std::memcmp(stored.data(), feats.data(),
+                      stored.size() * sizeof(double)) != 0) {
+        ++drifted;
+      }
+    }
+  }
+  if (drifted_rows != nullptr) *drifted_rows = drifted;
+  if (drifted > 0) {
+    std::cerr << "nurd: read_csv(" << job.id << "): " << drifted
+              << " post-freeze row(s) drift from the task's frozen "
+                 "observation and were ignored (the store assumes "
+                 "freeze-on-finish; the trace will not round-trip exactly)\n";
+  }
   return job;
 }
 
-Job load_csv(const std::string& path, std::string id) {
+Job load_csv(const std::string& path, std::string id,
+             std::size_t* drifted_rows) {
   std::ifstream f(path);
   NURD_CHECK(f.good(), "cannot open for reading: " + path);
-  return read_csv(f, std::move(id));
+  return read_csv(f, std::move(id), drifted_rows);
 }
 
 }  // namespace nurd::trace

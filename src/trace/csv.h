@@ -38,9 +38,18 @@ void save_csv(const std::string& path, const Job& job,
 
 /// Parses a job from CSV (the write_csv format). The job id is taken from
 /// `id`. Throws std::invalid_argument on malformed input.
-Job read_csv(std::istream& in, std::string id = "csv-job");
+///
+/// Freeze-on-finish is an assumption about the file, not a guarantee: a
+/// foreign trace may keep drifting a task's features after its finish
+/// horizon, and those post-freeze rows are dropped (the store keeps one
+/// frozen row per finished task), so the trace will not round-trip exactly.
+/// When that happens the dropped-row count is written to `*drifted_rows`
+/// (if non-null) and a one-line diagnostic goes to stderr.
+Job read_csv(std::istream& in, std::string id = "csv-job",
+             std::size_t* drifted_rows = nullptr);
 
 /// Convenience: reads from a file path (throws on I/O failure).
-Job load_csv(const std::string& path, std::string id = "csv-job");
+Job load_csv(const std::string& path, std::string id = "csv-job",
+             std::size_t* drifted_rows = nullptr);
 
 }  // namespace nurd::trace

@@ -114,9 +114,10 @@ Job TraceGenerator::generate_job_impl(Rng rng, std::size_t index,
   //    that are NOT stragglers.
   // Noise is PERSISTENT per task (temporally-coherent aggregate counters;
   // see the header comment). Its stddev folds in the seed model's white
-  // per-checkpoint component (0.6² + 0.4² = 0.72²), so the per-snapshot
-  // noise floor every model sees is unchanged — the noise just stops being
-  // redrawn between checkpoints, which is also what lets the columnar
+  // per-checkpoint component (√(0.6² + 0.4²) = √0.52 ≈ 0.7211, rounded to
+  // 0.72 — ~0.3% below the seed's per-snapshot noise floor), so the noise
+  // floor every model sees is essentially unchanged — the noise just stops
+  // being redrawn between checkpoints, which is also what lets the columnar
   // TraceStore deduplicate non-drifting rows.
   const double z90 = 1.2816 * sigma_job;
   std::vector<double> z_body(n), severity(n);

@@ -10,12 +10,22 @@ Replay::Replay(const Job& job) : job_(&job) {
 
 std::size_t Replay::advance() {
   NURD_CHECK(has_next(), "replay exhausted");
+  if (view_.has_value()) {
+    view_->rebind(next_);  // reuses the partition vectors' capacity
+  } else {
+    view_.emplace(job_->trace, next_);
+  }
   return next_++;
 }
 
 std::size_t Replay::current_index() const {
   NURD_CHECK(next_ > 0, "advance() has not been called");
   return next_ - 1;
+}
+
+const CheckpointView& Replay::view() const {
+  NURD_CHECK(view_.has_value(), "advance() has not been called");
+  return *view_;
 }
 
 }  // namespace nurd::trace

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <span>
 
 #include "trace/job.h"
@@ -28,16 +29,17 @@ class Replay {
   /// Index of the current checkpoint (throws before the first advance()).
   std::size_t current_index() const;
 
-  /// Observation boundary at the current checkpoint.
-  CheckpointView view() const { return job_->checkpoint(current_index()); }
+  /// Observation boundary at the current checkpoint. The returned view lives
+  /// inside the replay and is replaced by the next advance()/reset().
+  const CheckpointView& view() const;
 
   /// The current observation horizon τrun.
   double tau_run() const { return view().tau_run(); }
 
-  /// Tasks finished by the current horizon.
+  /// Tasks finished by the current horizon (ascending task id).
   std::span<const std::size_t> finished() const { return view().finished(); }
 
-  /// Tasks still running at the current horizon.
+  /// Tasks still running at the current horizon (ascending task id).
   std::span<const std::size_t> running() const { return view().running(); }
 
   /// Latency of a task — ONLY available once it has finished at the current
@@ -50,11 +52,15 @@ class Replay {
   double finished_fraction() const { return view().finished_fraction(); }
 
   /// Resets to the beginning.
-  void reset() { next_ = 0; }
+  void reset() {
+    next_ = 0;
+    view_.reset();
+  }
 
  private:
   const Job* job_;
   std::size_t next_ = 0;
+  std::optional<CheckpointView> view_;  ///< view at current_index()
 };
 
 }  // namespace nurd::trace

@@ -114,16 +114,44 @@ double TraceStore::tau_run(std::size_t t) const {
   return taus_[t];
 }
 
-std::span<const std::size_t> TraceStore::finished(std::size_t t) const {
+std::size_t TraceStore::finished_count(std::size_t t) const {
   check_finalized();
   NURD_CHECK(t < taus_.size(), "checkpoint index out of range");
-  return {by_latency_.data(), split_[t]};
+  return split_[t];
 }
 
-std::span<const std::size_t> TraceStore::running(std::size_t t) const {
+void TraceStore::partition(std::size_t t, std::vector<std::size_t>* finished,
+                           std::vector<std::size_t>* running) const {
   check_finalized();
   NURD_CHECK(t < taus_.size(), "checkpoint index out of range");
-  return {by_latency_.data() + split_[t], by_latency_.size() - split_[t]};
+  const std::uint32_t split = split_[t];
+  if (finished != nullptr) {
+    finished->clear();
+    finished->reserve(split);
+  }
+  if (running != nullptr) {
+    running->clear();
+    running->reserve(task_count() - split);
+  }
+  for (std::size_t task = 0; task < task_count(); ++task) {
+    if (rank_[task] < split) {
+      if (finished != nullptr) finished->push_back(task);
+    } else if (running != nullptr) {
+      running->push_back(task);
+    }
+  }
+}
+
+std::vector<std::size_t> TraceStore::finished(std::size_t t) const {
+  std::vector<std::size_t> out;
+  partition(t, &out, nullptr);
+  return out;
+}
+
+std::vector<std::size_t> TraceStore::running(std::size_t t) const {
+  std::vector<std::size_t> out;
+  partition(t, nullptr, &out);
+  return out;
 }
 
 bool TraceStore::is_finished(std::size_t t, std::size_t task) const {

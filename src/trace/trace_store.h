@@ -11,10 +11,14 @@
 //   * a later checkpoint stores a row-version ONLY for tasks whose observed
 //     row actually changed (drifting running tasks, and the final frozen
 //     observation of a task completing between two checkpoints);
-//   * the finished/running partition of EVERY checkpoint is two spans into a
-//     single latency-sorted task permutation: finished sets are nested
-//     (monotone in τrun), so checkpoint t's partition is just a prefix
-//     length ("split") into that one array.
+//   * the finished/running partition of EVERY checkpoint is one prefix
+//     length ("split") into a single latency-sorted task permutation:
+//     finished sets are nested (monotone in τrun), so no per-checkpoint id
+//     vectors are stored at all. That permutation is deliberately an
+//     internal detail: enumerating running tasks in latency order would
+//     rank them by their unrevealed latencies — a future-information oracle
+//     — so the public partition accessors emit ascending task-id order
+//     (reconstructed on demand), which depends on nothing hidden.
 //
 // Memory per job is O(n·d + Σ_t |changed_t|·d) — bounded above by
 // O(n·d + Σ_t |running_t|·d) since frozen tasks never change — instead of
@@ -81,11 +85,20 @@ class TraceStore {
   /// Observation horizon τrun of checkpoint `t`.
   double tau_run(std::size_t t) const;
 
-  /// Tasks finished by checkpoint `t`, in ascending-latency order.
-  std::span<const std::size_t> finished(std::size_t t) const;
+  /// Number of tasks finished by checkpoint `t`.
+  std::size_t finished_count(std::size_t t) const;
 
-  /// Tasks still running at checkpoint `t`, in ascending-latency order.
-  std::span<const std::size_t> running(std::size_t t) const;
+  /// Fills `*finished` / `*running` with the tasks finished by / still
+  /// running at checkpoint `t`, both in ascending task-id order, reusing the
+  /// vectors' capacity. Either pointer may be null to skip that side. Task-id
+  /// order is part of the online contract: it is the one enumeration that
+  /// reveals nothing about the running tasks' unrevealed latencies.
+  void partition(std::size_t t, std::vector<std::size_t>* finished,
+                 std::vector<std::size_t>* running) const;
+
+  /// Convenience copies of the two partition sides (ascending task id).
+  std::vector<std::size_t> finished(std::size_t t) const;
+  std::vector<std::size_t> running(std::size_t t) const;
 
   /// True iff `task` has finished by checkpoint `t`.
   bool is_finished(std::size_t t, std::size_t task) const;

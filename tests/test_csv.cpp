@@ -10,10 +10,6 @@
 namespace nurd::trace {
 namespace {
 
-std::vector<std::size_t> vec(std::span<const std::size_t> s) {
-  return {s.begin(), s.end()};
-}
-
 Job sample_job() {
   auto c = GoogleLikeGenerator::google_defaults();
   c.min_tasks = 100;
@@ -37,8 +33,8 @@ TEST(CsvRoundTrip, PreservesJobExactly) {
   for (std::size_t t = 0; t < job.checkpoint_count(); ++t) {
     EXPECT_NEAR(back.trace.tau_run(t), job.trace.tau_run(t),
                 1e-6 * job.trace.tau_run(t));
-    EXPECT_EQ(vec(back.trace.finished(t)), vec(job.trace.finished(t)));
-    EXPECT_EQ(vec(back.trace.running(t)), vec(job.trace.running(t)));
+    EXPECT_EQ(back.trace.finished(t), job.trace.finished(t));
+    EXPECT_EQ(back.trace.running(t), job.trace.running(t));
     for (std::size_t i = 0; i < job.task_count(); ++i) {
       EXPECT_NEAR(back.trace.row(t, i)[0], job.trace.row(t, i)[0], 1e-6);
     }
@@ -121,19 +117,43 @@ TEST(CsvRead, MinimalValidJob) {
       "1,4.0,0,5.0,3.0,4.0\n"
       "0,10.0,1,8.0,1.1,2.1\n"
       "1,4.0,1,8.0,3.1,4.1\n");
-  const auto job = read_csv(good, "mini");
+  std::size_t drifted = 0;
+  ::testing::internal::CaptureStderr();
+  const auto job = read_csv(good, "mini", &drifted);
+  const std::string warning = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(drifted, 1u);
   EXPECT_EQ(job.task_count(), 2u);
   EXPECT_EQ(job.feature_count(), 2u);
   ASSERT_EQ(job.checkpoint_count(), 2u);
   // Task 1 (latency 4) finished at both horizons; task 0 never.
-  EXPECT_EQ(vec(job.trace.finished(0)), (std::vector<std::size_t>{1}));
-  EXPECT_EQ(vec(job.trace.running(0)), (std::vector<std::size_t>{0}));
+  EXPECT_EQ(job.trace.finished(0), (std::vector<std::size_t>{1}));
+  EXPECT_EQ(job.trace.running(0), (std::vector<std::size_t>{0}));
   // Task 0 kept running, so its checkpoint-1 row is the fresh observation…
   EXPECT_DOUBLE_EQ(job.trace.row(1, 0)[1], 2.1);
   // …while task 1 froze at checkpoint 0: its later on-disk row (4.1) is
-  // drift after completion, which the freeze discipline ignores.
+  // drift after completion, which the freeze discipline ignores — loudly,
+  // so lossy ingestion of a foreign trace is visible.
   EXPECT_DOUBLE_EQ(job.trace.row(1, 1)[1], 4.0);
+  EXPECT_NE(warning.find("1 post-freeze row(s) drift"), std::string::npos)
+      << "expected a drift diagnostic, got: " << warning;
   EXPECT_EQ(job.id, "mini");
+}
+
+TEST(CsvRead, FreezeRespectingFileLoadsSilently) {
+  // Same trace, but task 1's post-freeze row repeats its frozen observation
+  // exactly — the freeze assumption holds and no diagnostic is emitted.
+  std::stringstream good(
+      "task,latency,checkpoint,tau_run,f0,f1\n"
+      "0,10.0,0,5.0,1.0,2.0\n"
+      "1,4.0,0,5.0,3.0,4.0\n"
+      "0,10.0,1,8.0,1.1,2.1\n"
+      "1,4.0,1,8.0,3.0,4.0\n");
+  std::size_t drifted = 99;
+  ::testing::internal::CaptureStderr();
+  const auto job = read_csv(good, "mini", &drifted);
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+  EXPECT_EQ(drifted, 0u);
+  EXPECT_DOUBLE_EQ(job.trace.row(1, 1)[1], 4.0);
 }
 
 TEST(CsvFile, SaveAndLoadThroughFilesystem) {

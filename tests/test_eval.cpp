@@ -116,9 +116,7 @@ TEST(RunJob, FlaggingNonStragglerIsFalsePositive) {
 
 TEST(RunJob, PerCheckpointConfusionIsCumulative) {
   const auto job = test_job();
-  ScriptedPredictor p(2, std::vector<std::size_t>(
-                             job.trace.running(2).begin(),
-                             job.trace.running(2).end()));
+  ScriptedPredictor p(2, job.trace.running(2));
   const auto run = run_job(job, p);
   // Before checkpoint 2: no flags ⇒ zero TP and FP.
   EXPECT_EQ(run.per_checkpoint[0].tp + run.per_checkpoint[0].fp, 0u);

@@ -24,7 +24,6 @@ namespace {
 eval::JobRunResult run_job_materialized(const trace::Job& job,
                                         core::StragglerPredictor& predictor,
                                         double pct = 90.0) {
-  const auto labels = job.straggler_labels(pct);
   const double tau_stra = job.straggler_threshold(pct);
   const std::size_t n = job.task_count();
   const std::size_t T = job.checkpoint_count();
@@ -42,7 +41,7 @@ eval::JobRunResult run_job_materialized(const trace::Job& job,
   core::JobContext context = eval::make_job_context(job, tau_stra);
   std::optional<core::OfflineSample> offline;
   if (predictor.privilege() == core::Privilege::kOfflineLabels) {
-    offline.emplace(labels);
+    offline.emplace(job.straggler_labels(90.0));
     context.offline = &*offline;
   }
   predictor.initialize(context);

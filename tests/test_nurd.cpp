@@ -21,13 +21,7 @@ trace::GeneratorConfig config_with(trace::TailRegime regime) {
 
 // The static per-job context the harness would build (online methods only).
 JobContext context_of(const trace::Job& job) {
-  JobContext ctx;
-  ctx.job_id = job.id;
-  ctx.task_count = job.task_count();
-  ctx.feature_count = job.feature_count();
-  ctx.checkpoint_count = job.checkpoint_count();
-  ctx.tau_stra = job.straggler_threshold();
-  return ctx;
+  return eval::make_job_context(job, job.straggler_threshold());
 }
 
 // Initializes and calibrates against the first checkpoint, the way the

@@ -118,13 +118,8 @@ TEST_P(NurdProtocolTest, WeightAlwaysInEpsilonOneRange) {
   params.alpha = GetParam().alpha;
   params.epsilon = GetParam().epsilon;
   core::NurdPredictor predictor(params);
-  core::JobContext ctx;
-  ctx.job_id = job.id;
-  ctx.task_count = job.task_count();
-  ctx.feature_count = job.feature_count();
-  ctx.checkpoint_count = job.checkpoint_count();
-  ctx.tau_stra = job.straggler_threshold();
-  predictor.initialize(ctx);
+  predictor.initialize(
+      eval::make_job_context(job, job.straggler_threshold()));
   predictor.calibrate(job.checkpoint(0));
   for (double z : {0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0}) {
     const double w = predictor.weight(z);

@@ -100,7 +100,9 @@ TEST(Replay, ViewIsBackedByTheColumnarStore) {
   EXPECT_EQ(view.index(), 0u);
   // Rows come straight from the store's version data — no copies.
   EXPECT_EQ(view.row(0).data(), job.trace.row(0, 0).data());
-  EXPECT_EQ(view.finished().data(), job.trace.finished(0).data());
+  const auto fin = view.finished();
+  EXPECT_EQ(std::vector<std::size_t>(fin.begin(), fin.end()),
+            job.trace.finished(0));
 }
 
 }  // namespace

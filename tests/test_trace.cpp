@@ -131,15 +131,15 @@ TEST(Generator, FinishedSetGrowsMonotonically) {
   GoogleLikeGenerator gen(small_config());
   const auto job = gen.generate(1)[0];
   for (std::size_t t = 1; t < job.checkpoint_count(); ++t) {
-    EXPECT_GE(job.trace.finished(t).size(),
-              job.trace.finished(t - 1).size());
+    EXPECT_GE(job.trace.finished_count(t), job.trace.finished_count(t - 1));
   }
 }
 
 TEST(Generator, LastCheckpointStillHasRunningTasks) {
   GoogleLikeGenerator gen(small_config());
   for (const auto& job : gen.generate(5)) {
-    EXPECT_FALSE(job.trace.running(job.checkpoint_count() - 1).empty());
+    const std::size_t last = job.checkpoint_count() - 1;
+    EXPECT_LT(job.trace.finished_count(last), job.task_count());
   }
 }
 
@@ -184,7 +184,7 @@ TEST(Generator, InitialCheckpointRespectsWarmup) {
   // At the first checkpoint at least the initial 4% of tasks have finished.
   const auto warm = static_cast<std::size_t>(
       0.04 * static_cast<double>(job.task_count()));
-  EXPECT_GE(job.trace.finished(0).size(), warm);
+  EXPECT_GE(job.trace.finished_count(0), warm);
 }
 
 TEST(Generator, FeaturesFreezeAfterCompletion) {

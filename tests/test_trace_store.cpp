@@ -30,17 +30,50 @@ TraceStore tiny_store() {
   return store;
 }
 
-TEST(TraceStore, PartitionIsLatencySortedPrefix) {
+TEST(TraceStore, PartitionInTaskIdOrder) {
   const auto store = tiny_store();
   ASSERT_EQ(store.checkpoint_count(), 3u);
-  EXPECT_EQ(vec(store.finished(0)), (std::vector<std::size_t>{0}));
-  EXPECT_EQ(vec(store.running(0)), (std::vector<std::size_t>{1, 2, 3}));
-  EXPECT_EQ(vec(store.finished(1)), (std::vector<std::size_t>{0, 1}));
-  EXPECT_EQ(vec(store.finished(2)), (std::vector<std::size_t>{0, 1, 2}));
-  EXPECT_EQ(vec(store.running(2)), (std::vector<std::size_t>{3}));
-  // The two spans tile one underlying permutation.
-  EXPECT_EQ(store.finished(1).data() + store.finished(1).size(),
-            store.running(1).data());
+  EXPECT_EQ(store.finished(0), (std::vector<std::size_t>{0}));
+  EXPECT_EQ(store.running(0), (std::vector<std::size_t>{1, 2, 3}));
+  EXPECT_EQ(store.finished(1), (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(store.finished(2), (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(store.running(2), (std::vector<std::size_t>{3}));
+  EXPECT_EQ(store.finished_count(1), 2u);
+}
+
+TEST(TraceStore, PartitionOrderRevealsNoLatencyInformation) {
+  // Latencies deliberately NOT aligned with task ids: the latency-sorted
+  // order of the running set at checkpoint 0 would be {3, 1, 2} — handing
+  // that out would rank still-running tasks by their unrevealed latencies.
+  // The public partition must come back in ascending task id regardless.
+  TraceStore store({9.0, 12.0, 30.0, 2.0, 7.0}, 1);
+  store.append_checkpoint(8.0, [](std::size_t task, std::span<double> row) {
+    row[0] = static_cast<double>(task);
+  });
+  store.append_checkpoint(20.0, [](std::size_t task, std::span<double> row) {
+    row[0] = static_cast<double>(task) + 0.5;
+  });
+  store.finalize();
+  EXPECT_EQ(store.finished(0), (std::vector<std::size_t>{3, 4}));
+  EXPECT_EQ(store.running(0), (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(store.finished(1), (std::vector<std::size_t>{0, 1, 3, 4}));
+  EXPECT_EQ(store.running(1), (std::vector<std::size_t>{2}));
+
+  const CheckpointView view(store, 0);
+  EXPECT_EQ(vec(view.finished()), store.finished(0));
+  EXPECT_EQ(vec(view.running()), store.running(0));
+}
+
+TEST(TraceStore, PartitionReusesCapacityAndSkipsNullSides) {
+  const auto store = tiny_store();
+  std::vector<std::size_t> fin, run;
+  store.partition(1, &fin, &run);
+  EXPECT_EQ(fin, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(run, (std::vector<std::size_t>{2, 3}));
+  store.partition(2, &fin, nullptr);
+  EXPECT_EQ(fin, (std::vector<std::size_t>{0, 1, 2}));
+  store.partition(0, nullptr, &run);
+  EXPECT_EQ(run, (std::vector<std::size_t>{1, 2, 3}));
 }
 
 TEST(TraceStore, FreezeOnFinish) {
@@ -106,8 +139,8 @@ TEST(TraceStore, TiedLatenciesLandOnOneSideOfTheSplit) {
     row[0] = 1.0;
   });
   store.finalize();
-  EXPECT_EQ(vec(store.finished(0)), (std::vector<std::size_t>{0, 1}));
-  EXPECT_EQ(vec(store.running(0)), (std::vector<std::size_t>{2}));
+  EXPECT_EQ(store.finished(0), (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(store.running(0), (std::vector<std::size_t>{2}));
 }
 
 TEST(TraceStore, BuildProtocolViolationsThrow) {
@@ -198,7 +231,8 @@ TEST(CheckpointViewTest, DenseBackedViewMatchesColumnar) {
     const Matrix snap = store.materialize(t);
     const CheckpointView columnar(store, t);
     const CheckpointView dense(store, t, snap);
-    EXPECT_EQ(columnar.finished().data(), dense.finished().data());
+    EXPECT_EQ(vec(columnar.finished()), vec(dense.finished()));
+    EXPECT_EQ(vec(columnar.running()), vec(dense.running()));
     for (std::size_t i = 0; i < store.task_count(); ++i) {
       const auto a = columnar.row(i);
       const auto b = dense.row(i);
@@ -207,6 +241,20 @@ TEST(CheckpointViewTest, DenseBackedViewMatchesColumnar) {
       }
     }
   }
+}
+
+TEST(CheckpointViewTest, RebindAdvancesWithoutLosingThePartition) {
+  const auto store = tiny_store();
+  CheckpointView view(store, 0);
+  EXPECT_EQ(vec(view.running()), store.running(0));
+  view.rebind(2);
+  EXPECT_EQ(view.index(), 2u);
+  EXPECT_EQ(vec(view.finished()), store.finished(2));
+  EXPECT_EQ(vec(view.running()), store.running(2));
+  // Dense-backed views are snapshot-bound and must not rebind.
+  const Matrix snap = store.materialize(1);
+  CheckpointView dense(store, 1, snap);
+  EXPECT_THROW(dense.rebind(2), std::invalid_argument);
 }
 
 TEST(CheckpointViewTest, FinishedLatenciesInFinishedOrder) {
