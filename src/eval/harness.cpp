@@ -80,23 +80,45 @@ MethodResult evaluate_method(const core::NamedPredictor& method,
                              std::span<const trace::Job> jobs, double pct,
                              std::size_t threads) {
   NURD_CHECK(!jobs.empty(), "no jobs to evaluate");
-  MethodResult out;
-  out.name = method.name;
+  // Runs fan out across jobs; the aggregation walks them in job order, so
+  // the sums are bit-identical for every thread count.
+  return aggregate_method(method.name, run_method(method, jobs, pct, threads));
+}
 
+MethodResult aggregate_method(std::string name,
+                              std::span<const JobRunResult> runs) {
+  NURD_CHECK(!runs.empty(), "no runs to aggregate");
+  MethodResult out;
+  out.name = std::move(name);
+
+  // Jobs without a single true straggler are excluded from the F1
+  // macro-average and timeline (policy documented in metrics.h): their F1 is
+  // the degenerate 1.0 regardless of predictions and would inflate the mean.
+  // If the entire job set is positive-free the exclusion would leave nothing,
+  // so the average falls back to covering every job, which preserves the
+  // per-job conventions (1.0 when nothing was flagged, 0.0 on false flags).
+  const bool exclude_positive_free =
+      std::any_of(runs.begin(), runs.end(), [](const JobRunResult& run) {
+        return run.final.tp + run.final.fn > 0;
+      });
+
+  // The timeline spans only the jobs included in the F1 average — trailing
+  // slots covered by excluded jobs alone would otherwise read as F1 = 0.
   std::size_t timeline_len = 0;
-  for (const auto& job : jobs) {
-    timeline_len = std::max(timeline_len, job.checkpoint_count());
+  for (const auto& run : runs) {
+    if (exclude_positive_free && run.final.tp + run.final.fn == 0) continue;
+    timeline_len = std::max(timeline_len, run.per_checkpoint.size());
   }
   out.f1_timeline.assign(timeline_len, 0.0);
   std::vector<std::size_t> timeline_counts(timeline_len, 0);
 
-  // Runs fan out across jobs; the reduction below walks them in job order,
-  // so the sums are bit-identical for every thread count.
-  const auto runs = run_method(method, jobs, pct, threads);
+  std::size_t f1_jobs = 0;
   for (const auto& run : runs) {
     out.tpr += run.final.tpr();
     out.fpr += run.final.fpr();
     out.fnr += run.final.fnr();
+    if (exclude_positive_free && run.final.tp + run.final.fn == 0) continue;
+    ++f1_jobs;
     out.f1 += run.final.f1();
     for (std::size_t t = 0; t < run.per_checkpoint.size(); ++t) {
       out.f1_timeline[t] += run.per_checkpoint[t].f1();
@@ -104,11 +126,11 @@ MethodResult evaluate_method(const core::NamedPredictor& method,
     }
   }
 
-  const double n = static_cast<double>(jobs.size());
+  const double n = static_cast<double>(runs.size());
   out.tpr /= n;
   out.fpr /= n;
   out.fnr /= n;
-  out.f1 /= n;
+  out.f1 /= static_cast<double>(f1_jobs);  // >= 1: runs are non-empty
   for (std::size_t t = 0; t < timeline_len; ++t) {
     if (timeline_counts[t] > 0) {
       out.f1_timeline[t] /= static_cast<double>(timeline_counts[t]);

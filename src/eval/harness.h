@@ -44,7 +44,12 @@ core::JobContext make_job_context(const trace::Job& job, double tau_stra);
 JobRunResult run_job(const trace::Job& job,
                      core::StragglerPredictor& predictor, double pct = 90.0);
 
-/// A method's metrics macro-averaged over a job set.
+/// A method's metrics macro-averaged over a job set. TPR/FPR/FNR average
+/// over all jobs with the zero conventions documented in metrics.h; the F1
+/// macro-average (and the per-checkpoint timeline) covers only jobs with at
+/// least one true straggler — a positive-free job's F1 is the degenerate 1.0
+/// whatever the predictor does, which would inflate the mean (metrics.h
+/// documents the policy).
 struct MethodResult {
   std::string name;
   double tpr = 0.0;
@@ -64,6 +69,12 @@ struct MethodResult {
 MethodResult evaluate_method(const core::NamedPredictor& method,
                              std::span<const trace::Job> jobs,
                              double pct = 90.0, std::size_t threads = 0);
+
+/// The aggregation behind evaluate_method, exposed so callers holding
+/// per-job runs (run_method output or synthetic vectors) can macro-average
+/// without re-running predictors. Walks runs in order; deterministic.
+MethodResult aggregate_method(std::string name,
+                              std::span<const JobRunResult> runs);
 
 /// Per-job run results for one method (used by the scheduler benches, which
 /// need flag times rather than aggregate rates). Same parallelism and

@@ -1,5 +1,13 @@
 // Confusion-matrix metrics under the paper's evaluation protocol (§7.1):
 // TPR, FPR, FNR and F1, reported per job and macro-averaged over jobs.
+//
+// Macro-averaging policy (enforced by eval::aggregate_method): a job with no
+// true stragglers (tp + fn == 0) is excluded from the F1 macro-average and
+// from the Figure 2/3 F1 timelines. Such a job's F1 is the degenerate 1.0
+// whatever the predictor does (2tp + fp + fn == 0 until a false flag lands),
+// so including it only inflates the mean. TPR/FPR/FNR keep the all-jobs mean
+// with the per-rate zero conventions below. Only if the entire job set is
+// positive-free does the F1 average fall back to covering every job.
 #pragma once
 
 #include <cstddef>
@@ -20,7 +28,9 @@ struct Confusion {
   /// False negative rate FN/(TP+FN); 0 when there are no positives.
   double fnr() const;
   /// F1 = 2TP/(2TP+FP+FN); defined as 1 when the denominator is zero
-  /// (no positives anywhere and none predicted).
+  /// (no positives anywhere and none predicted). Because of this convention,
+  /// positive-free jobs are excluded from macro-averages — see the policy
+  /// note at the top of this header.
   double f1() const;
 
   Confusion& operator+=(const Confusion& other);

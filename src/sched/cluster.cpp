@@ -1,0 +1,315 @@
+#include "sched/cluster.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <tuple>
+#include <utility>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+#include "sched/scheduler.h"
+
+namespace nurd::sched {
+
+namespace {
+
+// Min-heap order: (time, kind, job, task, seq).
+struct EventAfter {
+  bool operator()(const Event& a, const Event& b) const {
+    return std::tie(a.time, a.kind, a.job, a.task, a.seq) >
+           std::tie(b.time, b.kind, b.job, b.task, b.seq);
+  }
+};
+
+// Per-task simulation state. `completion` is the task's effective finish
+// time; a pending kTaskFinish event is live iff its timestamp still equals
+// it (relaunching a task strands the original's finish event, which is then
+// skipped as stale).
+struct TaskState {
+  double completion = 0.0;
+  double flag_time = 0.0;  ///< absolute; meaningful iff `flagged`
+  double resample = 0.0;   ///< pre-drawn relaunch latency; iff `flagged`
+  bool flagged = false;    ///< has a valid (pre-completion) flag
+  bool relaunched = false;
+  bool done = false;
+};
+
+class ClusterSim {
+ public:
+  ClusterSim(std::span<const trace::Job> jobs,
+             std::span<const eval::JobRunResult> runs,
+             const ClusterConfig& config, Rng& rng)
+      : jobs_(jobs), config_(config) {
+    const std::size_t J = jobs.size();
+    result_.jobs.resize(J);
+    tasks_.resize(J);
+    remaining_.resize(J);
+
+    // --- Canonical-order randomness: arrivals first (job input order), then
+    // one relaunch-latency draw per validly flagged task (job input order,
+    // task-id order). Nothing after this touches the RNG, so the stream is
+    // independent of pool sizes and event dynamics.
+    const auto arrivals =
+        config.arrivals ? config.arrivals(J, rng) : batch_arrivals()(J, rng);
+    NURD_CHECK(arrivals.size() == J, "arrival process returned wrong count");
+
+    for (std::size_t j = 0; j < J; ++j) {
+      const trace::Job& job = jobs[j];
+      const auto& flagged_at = runs[j].flagged_at;
+      NURD_CHECK(flagged_at.size() == job.task_count(),
+                 "flag vector length mismatch");
+      NURD_CHECK(arrivals[j] >= 0.0, "negative arrival time");
+
+      ClusterJobStats& stats = result_.jobs[j];
+      stats.arrival = arrivals[j];
+      stats.original_jct = job.completion_time();
+      remaining_[j] = job.task_count();
+
+      auto& tasks = tasks_[j];
+      tasks.resize(job.task_count());
+      for (std::size_t i = 0; i < job.task_count(); ++i) {
+        TaskState& task = tasks[i];
+        task.completion = arrivals[j] + job.latency(i);
+        if (flagged_at[i] == eval::kNeverFlagged) continue;
+        NURD_CHECK(flagged_at[i] < job.checkpoint_count(),
+                   "flag checkpoint out of range");
+        const double tau = job.trace.tau_run(flagged_at[i]);
+        if (tau >= job.latency(i)) {
+          // The flag lands at or after the task's completion: relaunching
+          // would be a phantom intervention on a finished task.
+          ++stats.noop_flags;
+          continue;
+        }
+        task.flagged = true;
+        task.flag_time = arrivals[j] + tau;
+        task.resample = resample_latency(job, rng);
+      }
+    }
+
+    unlimited_ = config.machines == kUnlimitedMachines;
+    pool_.unlimited = unlimited_;
+    pool_.free = unlimited_ ? 0 : config.machines;
+
+    for (std::size_t j = 0; j < J; ++j) {
+      push(arrivals[j], EventKind::kJobArrival, j, 0);
+    }
+  }
+
+  ClusterResult run() {
+    while (!queue_.empty()) {
+      const Event event = queue_.top();
+      queue_.pop();
+      if (!process(event)) continue;  // stale
+      ++result_.events;
+      if (config_.observer) config_.observer(event, pool_);
+    }
+    for (const auto& stats : result_.jobs) {
+      result_.makespan = std::max(result_.makespan, stats.completion);
+      result_.relaunched += stats.relaunched;
+      result_.waited += stats.waited;
+      result_.noop_flags += stats.noop_flags;
+    }
+    return std::move(result_);
+  }
+
+ private:
+  void push(double time, EventKind kind, std::size_t job, std::size_t task) {
+    queue_.push(Event{time, kind, static_cast<std::uint32_t>(job),
+                      static_cast<std::uint32_t>(task), seq_++});
+  }
+
+  bool machine_free() const { return unlimited_ || pool_.free > 0; }
+
+  // Reserves a machine for (job, task) and schedules its relaunch at `time`.
+  void grant(double time, std::size_t job, std::size_t task) {
+    if (!unlimited_) --pool_.free;
+    ++pool_.in_use;
+    push(time, EventKind::kRelaunch, job, task);
+  }
+
+  // A machine became free at `time`: hand it to the first queued task that
+  // is still running. Tasks that finished (or were relaunched) while queued
+  // are dropped on the way.
+  void dispatch(double time) {
+    while (machine_free() && !waiting_.empty()) {
+      const auto [job, task] = waiting_.front();
+      waiting_.pop_front();
+      pool_.waiting = waiting_.size();
+      if (tasks_[job][task].done) continue;
+      grant(time, job, task);
+    }
+  }
+
+  bool process(const Event& e) {
+    switch (e.kind) {
+      case EventKind::kJobArrival: {
+        const trace::Job& job = jobs_[e.job];
+        const auto& tasks = tasks_[e.job];
+        for (std::size_t i = 0; i < job.task_count(); ++i) {
+          push(tasks[i].completion, EventKind::kTaskFinish, e.job, i);
+          if (tasks[i].flagged) {
+            push(tasks[i].flag_time, EventKind::kFlag, e.job, i);
+          }
+        }
+        return true;
+      }
+      case EventKind::kTaskFinish: {
+        TaskState& task = tasks_[e.job][e.task];
+        // Stale: the original of a relaunched task, or (FP-tie paranoia) a
+        // duplicate timestamp match after the task already finished.
+        if (task.done || e.time != task.completion) return false;
+        task.done = true;
+        if (--remaining_[e.job] == 0) {
+          ClusterJobStats& stats = result_.jobs[e.job];
+          stats.completion = e.time;
+          stats.mitigated_jct = e.time - stats.arrival;
+        }
+        push(e.time, EventKind::kMachineRelease, e.job, e.task);
+        return true;
+      }
+      case EventKind::kMachineRelease: {
+        const TaskState& task = tasks_[e.job][e.task];
+        if (task.relaunched) {
+          // A finished copy returns the pool machine it borrowed.
+          --pool_.in_use;
+          if (!unlimited_) ++pool_.free;
+        } else if (config_.reclaim_releases) {
+          // Dedicated-pool policy: the cluster takes the machine back.
+          ++pool_.reclaimed;
+        } else {
+          // A natural completion donates its own machine to the pool.
+          ++pool_.released;
+          if (!unlimited_) ++pool_.free;
+        }
+        dispatch(e.time);
+        return true;
+      }
+      case EventKind::kRelaunch: {
+        TaskState& task = tasks_[e.job][e.task];
+        if (task.done) {
+          // Defensive: the grant instant coincided with the task's finish.
+          --pool_.in_use;
+          if (!unlimited_) ++pool_.free;
+          dispatch(e.time);
+          return false;
+        }
+        task.relaunched = true;
+        task.completion = e.time + task.resample;
+        push(task.completion, EventKind::kTaskFinish, e.job, e.task);
+        ClusterJobStats& stats = result_.jobs[e.job];
+        ++stats.relaunched;
+        if (e.time > task.flag_time) ++stats.waited;
+        return true;
+      }
+      case EventKind::kFlag: {
+        TaskState& task = tasks_[e.job][e.task];
+        if (task.done) {
+          // Only reachable through floating-point timestamp collisions
+          // (flag and finish at the same instant): treat as a no-op flag.
+          ++result_.jobs[e.job].noop_flags;
+          return false;
+        }
+        if (machine_free()) {
+          grant(e.time, e.job, e.task);
+        } else {
+          waiting_.emplace_back(e.job, e.task);
+          pool_.waiting = waiting_.size();
+          result_.peak_waiting =
+              std::max(result_.peak_waiting, waiting_.size());
+        }
+        return true;
+      }
+    }
+    return false;  // unreachable
+  }
+
+  std::span<const trace::Job> jobs_;
+  const ClusterConfig& config_;
+  bool unlimited_ = false;
+
+  std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
+  std::uint64_t seq_ = 0;
+  std::vector<std::vector<TaskState>> tasks_;
+  std::vector<std::size_t> remaining_;
+  std::deque<std::pair<std::size_t, std::size_t>> waiting_;
+  PoolState pool_;
+  ClusterResult result_;
+};
+
+}  // namespace
+
+ArrivalProcess batch_arrivals() {
+  return [](std::size_t job_count, Rng&) {
+    return std::vector<double>(job_count, 0.0);
+  };
+}
+
+ArrivalProcess poisson_arrivals(double rate) {
+  NURD_CHECK(rate > 0.0, "Poisson arrival rate must be positive");
+  return [rate](std::size_t job_count, Rng& rng) {
+    std::vector<double> arrivals(job_count);
+    double t = 0.0;
+    for (auto& a : arrivals) {
+      t += rng.exponential(rate);
+      a = t;
+    }
+    return arrivals;
+  };
+}
+
+double ClusterResult::mean_reduction_pct() const {
+  if (jobs.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& stats : jobs) total += stats.reduction_pct();
+  return total / static_cast<double>(jobs.size());
+}
+
+ClusterResult simulate_cluster(std::span<const trace::Job> jobs,
+                               std::span<const eval::JobRunResult> runs,
+                               const ClusterConfig& config, Rng& rng) {
+  NURD_CHECK(jobs.size() == runs.size(), "jobs/runs length mismatch");
+  NURD_CHECK(!jobs.empty(), "no jobs");
+  return ClusterSim(jobs, runs, config, rng).run();
+}
+
+std::vector<ClusterResult> simulate_cluster_replicated(
+    std::span<const trace::Job> jobs, std::span<const eval::JobRunResult> runs,
+    const ClusterConfig& config, std::size_t replications, std::uint64_t seed,
+    std::size_t threads) {
+  NURD_CHECK(replications > 0, "need at least one replication");
+  // Serial fork prefix: replication r's stream depends only on (seed, r), so
+  // results are bit-identical at any thread count and prefix-stable when
+  // `replications` grows.
+  Rng master(seed);
+  std::vector<Rng> rngs;
+  rngs.reserve(replications);
+  for (std::size_t r = 0; r < replications; ++r) rngs.push_back(master.fork());
+
+  std::vector<ClusterResult> out(replications);
+  ThreadPool::run_indexed(replications, threads, [&](std::size_t r) {
+    out[r] = simulate_cluster(jobs, runs, config, rngs[r]);
+  });
+  return out;
+}
+
+ClusterSummary summarize_replications(std::span<const ClusterResult> results) {
+  ClusterSummary summary;
+  if (results.empty()) return summary;
+  for (const auto& r : results) {
+    summary.mean_reduction_pct += r.mean_reduction_pct();
+    summary.mean_makespan += r.makespan;
+    summary.mean_relaunched += static_cast<double>(r.relaunched);
+    summary.mean_waited += static_cast<double>(r.waited);
+    summary.max_peak_waiting =
+        std::max(summary.max_peak_waiting, r.peak_waiting);
+  }
+  const double n = static_cast<double>(results.size());
+  summary.mean_reduction_pct /= n;
+  summary.mean_makespan /= n;
+  summary.mean_relaunched /= n;
+  summary.mean_waited /= n;
+  return summary;
+}
+
+}  // namespace nurd::sched

@@ -1,0 +1,193 @@
+// Event-driven cluster scheduler simulation.
+//
+// The per-job schedulers in scheduler.h evaluate mitigation one job at a
+// time on a checkpoint-quantized clock. This module generalizes them to a
+// shared cluster: many jobs run concurrently against ONE spare-machine pool,
+// jobs arrive over continuous time under a pluggable arrival process, and
+// every state change is an event on a global priority queue:
+//
+//   kJobArrival     a job's tasks start on their own machines; its
+//                   task-finish and flag events enter the queue
+//   kTaskFinish     a task (original or relaunched copy) completes; emits a
+//                   machine-release at the same instant
+//   kMachineRelease a machine is freed (a natural completion donates its
+//                   machine to the pool — or the cluster reclaims it under
+//                   ClusterConfig::reclaim_releases; a finished relaunch
+//                   copy returns the pool machine it borrowed) and a pooled
+//                   machine immediately serves the FIFO queue head — no
+//                   waiting for a checkpoint boundary
+//   kRelaunch       a flagged task's original is terminated and its copy
+//                   starts on the granted machine
+//   kFlag           the predictor flags a task (at the flagging checkpoint's
+//                   absolute time); the task relaunches now if a machine is
+//                   free, otherwise joins the cluster-wide FIFO queue
+//
+// Algorithms 2 and 3 are the single-job special cases: with
+// machines = kUnlimitedMachines and batch arrivals the simulation reproduces
+// schedule_unlimited bit-identically, and with a finite pool it is the
+// continuous-time refinement of schedule_limited (relaunches fire at release
+// instants instead of the next checkpoint, and releases after the last
+// checkpoint still drain the queue — the artifacts the checkpoint-quantized
+// loop used to exhibit by construction).
+//
+// Determinism contract: ALL randomness is consumed in a canonical setup
+// order — arrival times in job input order, then one pre-drawn relaunch
+// latency per validly flagged task (job input order, task-id order). The
+// event loop itself draws nothing, so the RNG stream consumed is a function
+// of (jobs, flags, arrival process) only: sweeping machine counts or
+// observing events never perturbs the draws. simulate_cluster_replicated
+// fans replications out over the ThreadPool with per-replication Rng::fork
+// streams and is bit-identical at any thread count, matching the
+// evaluate_method contract.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "eval/harness.h"
+#include "trace/job.h"
+
+namespace nurd::sched {
+
+/// Pool size meaning "a machine is always free" (Algorithm 2 semantics).
+inline constexpr std::size_t kUnlimitedMachines =
+    std::numeric_limits<std::size_t>::max();
+
+/// Event kinds, in processing order at equal timestamps. Finishes (and the
+/// releases they emit) precede flags at the same instant, so a machine freed
+/// exactly when a task is flagged can serve that task — the same tie rule as
+/// the checkpoint-quantized schedule_limited.
+enum class EventKind : int {
+  kJobArrival = 0,
+  kTaskFinish = 1,
+  kMachineRelease = 2,
+  kRelaunch = 3,
+  kFlag = 4,
+};
+
+/// One entry of the global event queue. Events order by (time, kind, job,
+/// task, seq) — a deterministic total order.
+struct Event {
+  double time = 0.0;
+  EventKind kind = EventKind::kJobArrival;
+  std::uint32_t job = 0;
+  std::uint32_t task = 0;  ///< 0 for kJobArrival
+  std::uint64_t seq = 0;   ///< queue insertion order (final tiebreak)
+};
+
+/// Shared-pool accounting, exposed to the event observer. For a finite pool
+/// the conservation invariant
+///     free + in_use == initial machines + released
+/// holds after every event (relaunch grants move free -> in_use, copy
+/// returns move in_use -> free, natural-completion donations grow both sides
+/// by one; reclaimed releases touch neither side).
+struct PoolState {
+  std::size_t free = 0;       ///< spare machines available (finite pools)
+  std::size_t in_use = 0;     ///< pool machines running relaunched copies
+  std::size_t released = 0;   ///< natural completions donated to the pool
+  std::size_t reclaimed = 0;  ///< natural completions taken back by the
+                              ///< cluster (reclaim_releases mode)
+  std::size_t waiting = 0;   ///< queued FIFO entries (tasks that finish
+                             ///< while queued are pruned lazily at dispatch)
+  bool unlimited = false;    ///< free is meaningless when set
+};
+
+/// Job arrival process: absolute arrival times, one per job in input order.
+using ArrivalProcess =
+    std::function<std::vector<double>(std::size_t job_count, Rng& rng)>;
+
+/// All jobs arrive at t = 0 (consumes no randomness).
+ArrivalProcess batch_arrivals();
+
+/// Poisson process with the given rate (jobs per unit time): arrival times
+/// are cumulative sums of Exponential(rate) inter-arrival gaps.
+ArrivalProcess poisson_arrivals(double rate);
+
+/// Called after every processed event with the post-event pool state.
+/// Stale queue entries (e.g. the natural finish of a task whose original was
+/// already terminated) are skipped without observation.
+using EventObserver = std::function<void(const Event&, const PoolState&)>;
+
+struct ClusterConfig {
+  /// Spare machines shared by all jobs at t = 0 (kUnlimitedMachines for
+  /// Algorithm 2 semantics).
+  std::size_t machines = 0;
+  /// Pool policy for machines freed by natural completions. False (default,
+  /// Algorithm 3 semantics): every finishing task donates its machine to the
+  /// relaunch pool — with whole batches finishing, donations quickly dwarf
+  /// the initial spares. True (dedicated-pool semantics): the cluster
+  /// reclaims naturally freed machines for other work, so only the
+  /// `machines` reserved spares (recycled as copies finish) serve
+  /// relaunches — the regime where spare-count sweeps actually bind.
+  bool reclaim_releases = false;
+  /// Null means batch_arrivals().
+  ArrivalProcess arrivals;
+  /// Optional event hook (tests, tracing). Must be thread-safe when the
+  /// config is shared by simulate_cluster_replicated lanes.
+  EventObserver observer;
+};
+
+/// Per-job outcome, mirroring ScheduleResult plus cluster timing.
+struct ClusterJobStats {
+  double arrival = 0.0;         ///< absolute arrival time
+  double completion = 0.0;      ///< absolute time the last task finished
+  double original_jct = 0.0;    ///< completion time without intervention
+  double mitigated_jct = 0.0;   ///< completion - arrival
+  std::size_t relaunched = 0;   ///< tasks actually relaunched
+  std::size_t waited = 0;       ///< relaunches granted after the flag instant
+  std::size_t noop_flags = 0;   ///< flags at/after the task's completion
+
+  double reduction_pct() const {
+    return original_jct > 0.0
+               ? 100.0 * (original_jct - mitigated_jct) / original_jct
+               : 0.0;
+  }
+};
+
+/// Outcome of one cluster simulation.
+struct ClusterResult {
+  std::vector<ClusterJobStats> jobs;  ///< input job order
+  double makespan = 0.0;              ///< last completion across the cluster
+  std::size_t relaunched = 0;
+  std::size_t waited = 0;
+  std::size_t noop_flags = 0;
+  std::size_t peak_waiting = 0;  ///< FIFO backlog high-water mark
+  std::size_t events = 0;        ///< processed (non-stale) events
+
+  /// Mean per-job JCT reduction, percent.
+  double mean_reduction_pct() const;
+};
+
+/// Simulates `jobs` sharing one cluster. `runs[j].flagged_at` supplies each
+/// job's predictor flags (checkpoint indices relative to the job's arrival).
+/// Flags whose checkpoint time is at or after the task's completion are
+/// counted as no-ops, not relaunched.
+ClusterResult simulate_cluster(std::span<const trace::Job> jobs,
+                               std::span<const eval::JobRunResult> runs,
+                               const ClusterConfig& config, Rng& rng);
+
+/// `replications` independent simulations, each on its own Rng forked
+/// deterministically from `seed` in replication order, fanned out over
+/// `threads` pool lanes (0 = hardware concurrency, 1 = serial). Results are
+/// in replication order and bit-identical for every thread count.
+std::vector<ClusterResult> simulate_cluster_replicated(
+    std::span<const trace::Job> jobs, std::span<const eval::JobRunResult> runs,
+    const ClusterConfig& config, std::size_t replications, std::uint64_t seed,
+    std::size_t threads = 0);
+
+/// Replication-averaged headline numbers for the scenario sweeps.
+struct ClusterSummary {
+  double mean_reduction_pct = 0.0;
+  double mean_makespan = 0.0;
+  double mean_relaunched = 0.0;
+  double mean_waited = 0.0;
+  std::size_t max_peak_waiting = 0;
+};
+
+ClusterSummary summarize_replications(std::span<const ClusterResult> results);
+
+}  // namespace nurd::sched

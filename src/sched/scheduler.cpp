@@ -2,22 +2,19 @@
 
 #include <algorithm>
 #include <deque>
+#include <queue>
+#include <utility>
+#include <vector>
 
 #include "common/check.h"
 
 namespace nurd::sched {
 
-namespace {
-
-// A relaunched copy's execution time: one draw from the job's empirical
-// latency distribution.
 double resample_latency(const trace::Job& job, Rng& rng) {
   const auto n = static_cast<std::int64_t>(job.task_count());
   const auto idx = static_cast<std::size_t>(rng.uniform_int(0, n - 1));
   return job.latency(idx);
 }
-
-}  // namespace
 
 ScheduleResult schedule_unlimited(const trace::Job& job,
                                   std::span<const std::size_t> flagged_at,
@@ -32,10 +29,16 @@ ScheduleResult schedule_unlimited(const trace::Job& job,
     double completion = job.latency(i);
     if (flagged_at[i] != eval::kNeverFlagged) {
       const double t_flag = job.trace.tau_run(flagged_at[i]);
-      // The harness only flags running tasks, so t_flag < latency holds; the
-      // relaunched copy starts immediately on a fresh machine.
-      completion = t_flag + resample_latency(job, rng);
-      ++result.relaunched;
+      if (t_flag < job.latency(i)) {
+        // The relaunched copy starts immediately on a fresh machine.
+        completion = t_flag + resample_latency(job, rng);
+        ++result.relaunched;
+      } else {
+        // The flag lands at or after the task's completion (synthetic flag
+        // vectors only — the harness flags running tasks): ignore it without
+        // consuming a draw rather than phantom-relaunch a finished task.
+        ++result.noop_flags;
+      }
     }
     jct = std::max(jct, completion);
   }
@@ -58,7 +61,6 @@ ScheduleResult schedule_limited(const trace::Job& job,
   // the task is actually relaunched.
   std::vector<double> completion(job.latencies().begin(),
                                  job.latencies().end());
-  std::vector<bool> relaunched(n, false);
 
   std::size_t pool = machines;
   std::deque<std::size_t> waiting;  // FIFO queue of flagged, unlaunched tasks
@@ -76,10 +78,16 @@ ScheduleResult schedule_limited(const trace::Job& job,
       if (done > prev_tau && done <= tau) ++pool;
     }
 
-    // Tasks flagged at this checkpoint join the queue (drop any that
-    // happened to finish while the prediction was made).
+    // Tasks flagged at this checkpoint join the queue. A flag on a task that
+    // already finished by the flag's checkpoint time (synthetic flag vectors
+    // only) is a no-op, matching schedule_unlimited.
     for (std::size_t i = 0; i < n; ++i) {
-      if (flagged_at[i] == t && job.latency(i) > tau) waiting.push_back(i);
+      if (flagged_at[i] != t) continue;
+      if (job.latency(i) > tau) {
+        waiting.push_back(i);
+      } else {
+        ++result.noop_flags;
+      }
     }
 
     // Drop waiting tasks that finished on their own before this checkpoint.
@@ -96,7 +104,6 @@ ScheduleResult schedule_limited(const trace::Job& job,
       waiting.pop_front();
       --pool;
       completion[i] = tau + resample_latency(job, rng);
-      relaunched[i] = true;
       ++result.relaunched;
       if (flagged_at[i] != eval::kNeverFlagged &&
           job.trace.tau_run(flagged_at[i]) < tau) {
@@ -104,6 +111,46 @@ ScheduleResult schedule_limited(const trace::Job& job,
       }
     }
     prev_tau = tau;
+  }
+
+  // Drain past the horizon: machines released after the final checkpoint
+  // still serve the FIFO queue. There is no checkpoint grid left to quantize
+  // to, so releases and relaunches proceed in event order at their actual
+  // completion times — the event-driven core in miniature. Without this,
+  // tasks still waiting when the checkpoint loop ends are silently never
+  // relaunched (and never counted in `waited`).
+  if (!waiting.empty()) {
+    using Release = std::pair<double, std::size_t>;
+    std::priority_queue<Release, std::vector<Release>, std::greater<Release>>
+        pending;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (completion[i] > prev_tau) pending.emplace(completion[i], i);
+    }
+    // A relaunched task leaves a stranded heap entry at its original
+    // latency. The timestamp test alone cannot reject it when the copy's
+    // completion collides with that latency exactly (resamples come from
+    // the job's own latency set, so exact collisions are routine), so each
+    // task is additionally capped at one release.
+    std::vector<bool> released(n, false);
+    while (!waiting.empty() && !pending.empty()) {
+      const auto [now, who] = pending.top();
+      pending.pop();
+      if (completion[who] != now || released[who]) continue;
+      released[who] = true;
+      ++pool;
+      while (!waiting.empty() && pool > 0) {
+        const std::size_t i = waiting.front();
+        waiting.pop_front();
+        if (job.latency(i) <= now) continue;  // finished while queued
+        --pool;
+        completion[i] = now + resample_latency(job, rng);
+        ++result.relaunched;
+        // Every flag checkpoint lies within the horizon, so a post-horizon
+        // relaunch waited by definition.
+        ++result.waited;
+        pending.emplace(completion[i], i);
+      }
+    }
   }
 
   double jct = 0.0;

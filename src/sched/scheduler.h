@@ -32,6 +32,8 @@ struct ScheduleResult {
   double mitigated_jct = 0.0;  ///< completion time with relaunches
   std::size_t relaunched = 0;  ///< tasks actually relaunched
   std::size_t waited = 0;      ///< flagged tasks that had to wait ≥1 checkpoint
+  std::size_t noop_flags = 0;  ///< flags at/after the task's completion,
+                               ///< ignored rather than phantom-relaunched
 
   /// Reduction in job completion time, percent (positive = improvement).
   double reduction_pct() const {
@@ -41,15 +43,27 @@ struct ScheduleResult {
   }
 };
 
+/// A relaunched copy's execution time: one draw from the job's empirical
+/// latency distribution (§7.3). Shared by the per-job schedulers and the
+/// event-driven cluster simulator so their draws are interchangeable.
+double resample_latency(const trace::Job& job, Rng& rng);
+
 /// Algorithm 2: unlimited machines; flagged tasks relaunch immediately.
 /// `flagged_at` maps each task to the checkpoint where the predictor flagged
 /// it (eval::kNeverFlagged = never); `rng` drives the latency resampling.
+/// A flag whose checkpoint time is at or after the task's completion is a
+/// no-op (counted in `noop_flags`, consuming no randomness): the harness
+/// never produces such flags, but synthetic flag vectors do, and relaunching
+/// an already-finished task would fabricate negative "mitigation".
 ScheduleResult schedule_unlimited(const trace::Job& job,
                                   std::span<const std::size_t> flagged_at,
                                   Rng& rng);
 
 /// Algorithm 3: a finite machine pool of `machines` spares (plus machines
-/// released by finishing tasks).
+/// released by finishing tasks). Queued tasks relaunch at checkpoint times
+/// within the horizon; after the final checkpoint the remaining releases and
+/// relaunches drain in event order at their actual (continuous) times, so a
+/// machine freed past the horizon still serves the FIFO queue.
 ScheduleResult schedule_limited(const trace::Job& job,
                                 std::span<const std::size_t> flagged_at,
                                 std::size_t machines, Rng& rng);

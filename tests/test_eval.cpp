@@ -165,6 +165,58 @@ TEST(EvaluateMethod, AveragesOverJobs) {
   EXPECT_EQ(res.f1_timeline.size(), jobs[0].checkpoint_count());
 }
 
+TEST(AggregateMethod, ExcludesPositiveFreeJobsFromMacroF1) {
+  // A job with no true stragglers scores the degenerate F1 = 1.0 whatever
+  // the predictor does; pre-fix it inflated the macro-average (here from
+  // the honest 0.0 to 0.5).
+  JobRunResult missed_all;
+  missed_all.final = Confusion{0, 0, 5, 95};
+  missed_all.per_checkpoint = {Confusion{0, 0, 5, 95},
+                               Confusion{0, 0, 5, 95}};
+  JobRunResult positive_free;
+  positive_free.final = Confusion{0, 0, 0, 100};
+  positive_free.per_checkpoint = {Confusion{0, 0, 0, 100},
+                                  Confusion{0, 0, 0, 100}};
+  const std::vector<JobRunResult> runs{missed_all, positive_free};
+  const auto res = aggregate_method("m", runs);
+  EXPECT_DOUBLE_EQ(res.f1, 0.0);
+  ASSERT_EQ(res.f1_timeline.size(), 2u);
+  EXPECT_DOUBLE_EQ(res.f1_timeline[0], 0.0);
+  EXPECT_DOUBLE_EQ(res.f1_timeline[1], 0.0);
+  // TPR/FNR keep the all-jobs mean with the documented zero conventions.
+  EXPECT_DOUBLE_EQ(res.fnr, 0.5);
+}
+
+TEST(AggregateMethod, AllPositiveFreeFallsBackToEveryJob) {
+  JobRunResult clean;
+  clean.final = Confusion{0, 0, 0, 50};
+  clean.per_checkpoint = {Confusion{0, 0, 0, 50}};
+  JobRunResult false_flagged;
+  false_flagged.final = Confusion{0, 2, 0, 48};
+  false_flagged.per_checkpoint = {Confusion{0, 2, 0, 48}};
+  const std::vector<JobRunResult> runs{clean, false_flagged};
+  const auto res = aggregate_method("m", runs);
+  // Nothing to find anywhere: 1.0 for the clean job, 0.0 for the job with
+  // false flags.
+  EXPECT_DOUBLE_EQ(res.f1, 0.5);
+}
+
+TEST(AggregateMethod, MatchesEvaluateMethodOnRealRuns) {
+  auto c = trace::GoogleLikeGenerator::google_defaults();
+  c.min_tasks = 100;
+  c.max_tasks = 120;
+  trace::GoogleLikeGenerator gen(c);
+  const auto jobs = gen.generate(3);
+  core::NamedPredictor method{
+      "never", [] { return std::make_unique<ScriptedPredictor>(999,
+                        std::vector<std::size_t>{}); }};
+  const auto direct = evaluate_method(method, jobs);
+  const auto rebuilt = aggregate_method("never", run_method(method, jobs));
+  EXPECT_DOUBLE_EQ(direct.f1, rebuilt.f1);
+  EXPECT_DOUBLE_EQ(direct.tpr, rebuilt.tpr);
+  EXPECT_EQ(direct.f1_timeline, rebuilt.f1_timeline);
+}
+
 TEST(RunMethod, OneRunPerJob) {
   auto c = trace::GoogleLikeGenerator::google_defaults();
   c.min_tasks = 100;

@@ -1,0 +1,28 @@
+// Shared test fixture: hand-built jobs with known latencies and a simple
+// checkpoint grid (features all zero — scheduler and metrics tests don't
+// read them).
+#pragma once
+
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "trace/job.h"
+
+namespace nurd::trace {
+
+inline Job make_test_job(std::string id, std::vector<double> latencies,
+                         const std::vector<double>& taus) {
+  Job job;
+  job.id = std::move(id);
+  job.trace = TraceStore(std::move(latencies), 1);
+  for (double tau : taus) {
+    job.trace.append_checkpoint(
+        tau, [](std::size_t, std::span<double> row) { row[0] = 0.0; });
+  }
+  job.trace.finalize();
+  return job;
+}
+
+}  // namespace nurd::trace

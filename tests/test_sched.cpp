@@ -2,24 +2,19 @@
 
 #include <gtest/gtest.h>
 
+#include "sched/cluster.h"
+#include "test_jobs.h"
 #include "trace/generator.h"
 
 namespace nurd::sched {
 namespace {
 
-// A hand-built job with known latencies and a simple checkpoint grid.
+using trace::make_test_job;
+
+// One dominant straggler (latency 100) and nine fast tasks.
 trace::Job toy_job() {
-  trace::Job job;
-  job.id = "toy";
-  // One dominant straggler (latency 100) and nine fast tasks.
-  job.trace =
-      trace::TraceStore({10, 11, 12, 13, 14, 15, 16, 17, 18, 100}, 1);
-  for (double tau : {12.5, 20.0, 50.0, 99.0}) {
-    job.trace.append_checkpoint(
-        tau, [](std::size_t, std::span<double> row) { row[0] = 0.0; });
-  }
-  job.trace.finalize();
-  return job;
+  return make_test_job("toy", {10, 11, 12, 13, 14, 15, 16, 17, 18, 100},
+                       {12.5, 20.0, 50.0, 99.0});
 }
 
 TEST(ScheduleUnlimited, NoFlagsNoChange) {
@@ -131,6 +126,95 @@ TEST(ScheduleLimited, FlaggedTaskThatFinishesLeavesQueue) {
   Rng rng(7);
   const auto r = schedule_limited(job, flags, 5, rng);
   EXPECT_EQ(r.relaunched, 0u);
+  EXPECT_DOUBLE_EQ(r.mitigated_jct, r.original_jct);
+}
+
+TEST(ScheduleUnlimited, FlagAtOrAfterCompletionIsNoop) {
+  // Task 0 (latency 10) has long finished by checkpoint 3 (τ = 99). The
+  // pre-fix code unconditionally relaunched it, fabricating a completion of
+  // 99 + resample ≥ 109 — negative "mitigation" out of thin air.
+  const auto job = toy_job();
+  std::vector<std::size_t> flags(job.task_count(), eval::kNeverFlagged);
+  flags[0] = 3;
+  Rng rng(9);
+  const auto r = schedule_unlimited(job, flags, rng);
+  EXPECT_EQ(r.relaunched, 0u);
+  EXPECT_EQ(r.noop_flags, 1u);
+  EXPECT_DOUBLE_EQ(r.mitigated_jct, r.original_jct);
+  EXPECT_DOUBLE_EQ(r.reduction_pct(), 0.0);
+}
+
+TEST(ScheduleUnlimited, NoopFlagConsumesNoRandomness) {
+  // A no-op flag must leave the RNG stream untouched so that mixed flag
+  // vectors stay reproducible: the straggler's resample below is the first
+  // draw either way.
+  const auto job = toy_job();
+  std::vector<std::size_t> noop_then_real(job.task_count(),
+                                          eval::kNeverFlagged);
+  noop_then_real[0] = 3;  // finished task: no-op
+  noop_then_real[9] = 0;  // straggler: real relaunch
+  std::vector<std::size_t> real_only(job.task_count(), eval::kNeverFlagged);
+  real_only[9] = 0;
+  Rng a(13), b(13);
+  const auto mixed = schedule_unlimited(job, noop_then_real, a);
+  const auto clean = schedule_unlimited(job, real_only, b);
+  EXPECT_DOUBLE_EQ(mixed.mitigated_jct, clean.mitigated_jct);
+  EXPECT_EQ(mixed.relaunched, 1u);
+  EXPECT_EQ(mixed.noop_flags, 1u);
+}
+
+TEST(ScheduleLimited, PostHorizonReleasesDrainQueue) {
+  // Task 0 (latency 60) releases its machine after the final checkpoint
+  // (τ = 50). Pre-fix, the checkpoint loop ended first, so the flagged
+  // straggler waited forever: never relaunched, never counted in `waited`.
+  const auto job =
+      make_test_job("horizon", {60.0, 100.0}, {12.5, 20.0, 50.0});
+  std::vector<std::size_t> flags{eval::kNeverFlagged, 1};  // flag @ τ = 20
+  Rng rng(2);
+  const auto r = schedule_limited(job, flags, 0, rng);
+  EXPECT_EQ(r.relaunched, 1u);
+  EXPECT_EQ(r.waited, 1u);
+  // The relaunch fires at the actual release instant t = 60, not at a
+  // checkpoint: completion = 60 + resample ∈ {120, 160}.
+  EXPECT_GE(r.mitigated_jct, 120.0);
+}
+
+TEST(ScheduleLimited, DrainReleasesEachMachineOnce) {
+  // All scheduling activity lands past the two-checkpoint horizon, so the
+  // drain must reproduce the event-driven core exactly. The trap: when a
+  // relaunched copy's completion collides with the task's original latency
+  // (here task 1 relaunches at t=30 and a resample of 30 completes it at
+  // exactly its natural 60), the task's stranded heap entry matches the
+  // timestamp test too — pre-fix the drain released TWO machines at t=60
+  // and relaunched both stragglers on one real machine, beating the event
+  // simulator with phantom capacity.
+  const auto job = make_test_job("collide", {30.0, 60.0, 1000.0, 1000.0},
+                                 {10.0, 25.0});
+  std::vector<std::size_t> flags{eval::kNeverFlagged, 0, 0, 0};
+  const auto run = [&] {
+    eval::JobRunResult r;
+    r.flagged_at = flags;
+    return r;
+  }();
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    Rng a(seed), b(seed);
+    ClusterConfig config;  // machines = 0
+    const auto evt = simulate_cluster({&job, 1}, {&run, 1}, config, a);
+    const auto lim = schedule_limited(job, flags, 0, b);
+    EXPECT_DOUBLE_EQ(lim.mitigated_jct, evt.jobs[0].mitigated_jct)
+        << "seed " << seed;
+    EXPECT_EQ(lim.relaunched, evt.jobs[0].relaunched) << "seed " << seed;
+  }
+}
+
+TEST(ScheduleLimited, NoopFlagCountedNotQueued) {
+  const auto job = toy_job();
+  std::vector<std::size_t> flags(job.task_count(), eval::kNeverFlagged);
+  flags[0] = 2;  // task 0 (latency 10) finished long before τ = 50
+  Rng rng(8);
+  const auto r = schedule_limited(job, flags, 5, rng);
+  EXPECT_EQ(r.relaunched, 0u);
+  EXPECT_EQ(r.noop_flags, 1u);
   EXPECT_DOUBLE_EQ(r.mitigated_jct, r.original_jct);
 }
 
