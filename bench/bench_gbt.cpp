@@ -132,6 +132,7 @@ int main(int argc, char** argv) {
               serial.f1 == parallel.f1 ? "identical" : "MISMATCH", serial.f1,
               parallel.f1, serial.tpr == parallel.tpr ? "identical" : "MISMATCH",
               serial.fpr == parallel.fpr ? "identical" : "MISMATCH");
+  bench::print_resource_report("bench_gbt");
   return (serial.f1 == parallel.f1 && serial.tpr == parallel.tpr &&
           serial.fpr == parallel.fpr)
              ? 0

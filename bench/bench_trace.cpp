@@ -137,5 +137,6 @@ int main(int argc, char** argv) {
               << " GB/s effective; checksum "
               << TextTable::num(checksum, 1) << ")\n\n";
   }
+  bench::print_resource_report("bench_trace");
   return 0;
 }

@@ -1,16 +1,78 @@
 // Shared helpers for the reproduction benches: dataset construction with the
-// per-dataset defaults and simple --flag=value argument parsing.
+// per-dataset defaults, simple --flag=value argument parsing, and process
+// resource accounting (peak RSS + global allocation counters) so benches can
+// report memory behavior alongside wall-clock timings.
+//
+// NOTE: this header defines the replaceable global allocation functions
+// (operator new/delete) to count allocations. That is well-formed because
+// every bench is a single translation unit and the replacement applies
+// binary-wide (the nurd library's allocations are counted too). A bench
+// composed of several TUs must include bench_util.h from exactly one of
+// them — violating that fails loudly at link time with a duplicate-symbol
+// error.
 #pragma once
 
+#include <atomic>
+#include <cstdio>
 #include <cstdlib>
+#include <new>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "core/registry.h"
 #include "trace/generator.h"
 
 namespace nurd::bench {
+
+namespace detail {
+inline std::atomic<std::size_t> alloc_count{0};
+inline std::atomic<std::size_t> alloc_bytes{0};
+}  // namespace detail
+
+/// Global allocation counters since process start (relaxed atomics — exact
+/// under single-threaded benches, approximate ordering under the pool).
+struct AllocStats {
+  std::size_t count = 0;
+  std::size_t bytes = 0;
+};
+
+inline AllocStats alloc_stats() {
+  return {detail::alloc_count.load(std::memory_order_relaxed),
+          detail::alloc_bytes.load(std::memory_order_relaxed)};
+}
+
+/// Peak resident set size of the process in bytes (0 where unsupported).
+/// Linux reports ru_maxrss in KiB, macOS in bytes.
+inline std::size_t peak_rss_bytes() {
+#if defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<std::size_t>(usage.ru_maxrss);
+#elif defined(__unix__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<std::size_t>(usage.ru_maxrss) * 1024;
+#else
+  return 0;
+#endif
+}
+
+/// Prints peak RSS and the allocation delta since `since` — the
+/// scratch-reuse story of a bench phase: wall-clock says how fast, this says
+/// how little the hot path had to touch the allocator to get there.
+inline void print_resource_report(const char* label, AllocStats since = {}) {
+  const auto now = alloc_stats();
+  std::printf(
+      "%s: peak RSS %.1f MiB, %zu allocations (%.1f MiB) in phase\n", label,
+      static_cast<double>(peak_rss_bytes()) / (1024.0 * 1024.0),
+      now.count - since.count,
+      static_cast<double>(now.bytes - since.bytes) / (1024.0 * 1024.0));
+}
 
 /// Which trace the bench replays.
 enum class Dataset { kGoogle, kAlibaba };
@@ -61,3 +123,20 @@ inline long arg_long(int argc, char** argv, std::string_view name,
 }
 
 }  // namespace nurd::bench
+
+// Replaceable global allocation functions (counted). Non-inline by the
+// rules for replacement functions; see the header comment for why defining
+// them here is safe for single-TU benches.
+void* operator new(std::size_t size) {
+  nurd::bench::detail::alloc_count.fetch_add(1, std::memory_order_relaxed);
+  nurd::bench::detail::alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (void* p = std::malloc(size != 0 ? size : 1)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }

@@ -2,14 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/check.h"
 #include "common/rng.h"
 #include "common/stats.h"
+#include "ml/loss.h"
 
 namespace nurd::core {
 
 namespace {
+
+constexpr std::size_t kNotInTrain = std::numeric_limits<std::size_t>::max();
 
 // Censored targets over all tasks: finished are exact, running are
 // right-censored at the checkpoint horizon.
@@ -24,23 +28,24 @@ std::vector<ml::Target> censored_targets(const trace::CheckpointView& view) {
 
 // ---------------------------------------------------------------- GBTR ----
 
-GbtrPredictor::GbtrPredictor(ml::GbtParams params) : params_(params) {}
+GbtrPredictor::GbtrPredictor(ml::GbtParams params, RefitPolicy refit)
+    : params_(params), session_(refit) {}
 
 void GbtrPredictor::initialize(const JobContext& context) {
   tau_stra_ = context.tau_stra;
+  session_.reset();
+  model_.reset();
 }
 
 std::vector<std::size_t> GbtrPredictor::predict_stragglers(
     const trace::CheckpointView& view,
     std::span<const std::size_t> candidates) {
   if (view.finished().empty() || candidates.empty()) return {};
-  view.gather_rows(view.finished(), &x_);
-  view.finished_latencies(&y_);
-  auto model = ml::GradientBoosting::regressor(params_);
-  model.fit(x_, y_);
+  session_.observe(view);
+  refit_finished_gbt(session_, params_, &model_);
   std::vector<std::size_t> flagged;
   for (auto i : candidates) {
-    if (model.predict(view.row(i)) >= tau_stra_) flagged.push_back(i);
+    if (model_.model->predict(view.row(i)) >= tau_stra_) flagged.push_back(i);
   }
   return flagged;
 }
@@ -48,22 +53,23 @@ std::vector<std::size_t> GbtrPredictor::predict_stragglers(
 // ------------------------------------------------------ outlier family ----
 
 OutlierPredictor::OutlierPredictor(std::string name, DetectorFactory make,
-                                   double contamination)
+                                   double contamination, RefitPolicy refit)
     : name_(std::move(name)),
       make_(std::move(make)),
-      contamination_(contamination) {
+      contamination_(contamination),
+      session_(refit) {
   NURD_CHECK(make_ != nullptr, "detector factory must not be null");
 }
 
-void OutlierPredictor::initialize(const JobContext&) {}
+void OutlierPredictor::initialize(const JobContext&) { session_.reset(); }
 
 std::vector<std::size_t> OutlierPredictor::predict_stragglers(
     const trace::CheckpointView& view,
     std::span<const std::size_t> candidates) {
   if (candidates.empty()) return {};
-  view.snapshot(&snapshot_);
+  session_.observe(view);
   auto detector = make_();
-  detector->fit(snapshot_);
+  detector->fit(session_.snapshot());
   const auto& scores = detector->scores();
   const double thr = outlier::contamination_threshold(scores, contamination_);
   std::vector<std::size_t> flagged;
@@ -76,10 +82,10 @@ std::vector<std::size_t> OutlierPredictor::predict_stragglers(
 // --------------------------------------------------------------- XGBOD ----
 
 XgbodPredictor::XgbodPredictor(outlier::XgbodParams params,
-                               double contamination)
-    : params_(params), contamination_(contamination) {}
+                               double contamination, RefitPolicy refit)
+    : params_(params), contamination_(contamination), session_(refit) {}
 
-void XgbodPredictor::initialize(const JobContext&) {}
+void XgbodPredictor::initialize(const JobContext&) { session_.reset(); }
 
 std::vector<std::size_t> XgbodPredictor::predict_stragglers(
     const trace::CheckpointView& view,
@@ -88,11 +94,11 @@ std::vector<std::size_t> XgbodPredictor::predict_stragglers(
       view.running().empty()) {
     return {};
   }
+  session_.observe(view);
   std::vector<double> pseudo(view.task_count(), 0.0);
   for (auto i : view.running()) pseudo[i] = 1.0;
-  view.snapshot(&snapshot_);
   outlier::XgbodDetector det(params_);
-  det.fit(snapshot_, pseudo);
+  det.fit(session_.snapshot(), pseudo);
   const auto& scores = det.scores();
   const double thr = outlier::contamination_threshold(scores, contamination_);
   std::vector<std::size_t> flagged;
@@ -104,9 +110,10 @@ std::vector<std::size_t> XgbodPredictor::predict_stragglers(
 
 // --------------------------------------------------------------- PU-EN ----
 
-PuEnPredictor::PuEnPredictor(pu::PuEnParams params) : params_(params) {}
+PuEnPredictor::PuEnPredictor(pu::PuEnParams params, RefitPolicy refit)
+    : params_(params), session_(refit) {}
 
-void PuEnPredictor::initialize(const JobContext&) {}
+void PuEnPredictor::initialize(const JobContext&) { session_.reset(); }
 
 std::vector<std::size_t> PuEnPredictor::predict_stragglers(
     const trace::CheckpointView& view,
@@ -115,10 +122,11 @@ std::vector<std::size_t> PuEnPredictor::predict_stragglers(
       candidates.empty()) {
     return {};
   }
-  view.gather_rows(view.finished(), &labeled_);
+  session_.observe(view);
+  const Matrix& labeled = session_.x_fin();
   view.gather_rows(view.running(), &unlabeled_);
   pu::PuElkanNoto model(params_);
-  model.fit(labeled_, unlabeled_);
+  model.fit(labeled, unlabeled_);
   std::vector<std::size_t> flagged;
   for (auto i : candidates) {
     if (model.prob_labeled_class(view.row(i)) < 0.5) {
@@ -130,18 +138,20 @@ std::vector<std::size_t> PuEnPredictor::predict_stragglers(
 
 // --------------------------------------------------------------- PU-BG ----
 
-PuBgPredictor::PuBgPredictor(pu::PuBgParams params) : params_(params) {}
+PuBgPredictor::PuBgPredictor(pu::PuBgParams params, RefitPolicy refit)
+    : params_(params), session_(refit) {}
 
-void PuBgPredictor::initialize(const JobContext&) {}
+void PuBgPredictor::initialize(const JobContext&) { session_.reset(); }
 
 std::vector<std::size_t> PuBgPredictor::predict_stragglers(
     const trace::CheckpointView& view,
     std::span<const std::size_t> candidates) {
   if (view.finished().empty() || candidates.empty()) return {};
-  view.gather_rows(view.finished(), &labeled_);
+  session_.observe(view);
+  const Matrix& labeled = session_.x_fin();
   view.gather_rows(candidates, &unlabeled_);
   pu::PuBaggingSvm model(params_);
-  model.fit(labeled_, unlabeled_);
+  model.fit(labeled, unlabeled_);
   const auto& scores = model.unlabeled_scores();
   std::vector<std::size_t> flagged;
   for (std::size_t c = 0; c < candidates.size(); ++c) {
@@ -152,21 +162,23 @@ std::vector<std::size_t> PuBgPredictor::predict_stragglers(
 
 // --------------------------------------------------------------- Tobit ----
 
-TobitPredictor::TobitPredictor(censored::TobitParams params)
-    : params_(params) {}
+TobitPredictor::TobitPredictor(censored::TobitParams params,
+                               RefitPolicy refit)
+    : params_(params), session_(refit) {}
 
 void TobitPredictor::initialize(const JobContext& context) {
   tau_stra_ = context.tau_stra;
+  session_.reset();
 }
 
 std::vector<std::size_t> TobitPredictor::predict_stragglers(
     const trace::CheckpointView& view,
     std::span<const std::size_t> candidates) {
   if (view.finished().empty() || candidates.empty()) return {};
+  session_.observe(view);
   const auto targets = censored_targets(view);
-  view.snapshot(&snapshot_);
   censored::TobitRegression model(params_);
-  model.fit(snapshot_, targets);
+  model.fit(session_.snapshot(), targets);
   std::vector<std::size_t> flagged;
   for (auto i : candidates) {
     if (model.predict(view.row(i)) >= tau_stra_) flagged.push_back(i);
@@ -176,47 +188,92 @@ std::vector<std::size_t> TobitPredictor::predict_stragglers(
 
 // -------------------------------------------------------------- Grabit ----
 
-GrabitPredictor::GrabitPredictor(ml::GbtParams params) : params_(params) {}
+GrabitPredictor::GrabitPredictor(ml::GbtParams params, RefitPolicy refit)
+    : params_(params), session_(refit) {}
 
 void GrabitPredictor::initialize(const JobContext& context) {
   tau_stra_ = context.tau_stra;
+  session_.reset();
+  model_.reset();
 }
 
 std::vector<std::size_t> GrabitPredictor::predict_stragglers(
     const trace::CheckpointView& view,
     std::span<const std::size_t> candidates) {
   if (view.finished().empty() || candidates.empty()) return {};
+  session_.observe(view);
   const auto targets = censored_targets(view);
-  view.finished_latencies(&fin_lat_);
-  const double sigma = std::max(stddev(fin_lat_), 1e-3);
-  view.snapshot(&snapshot_);
-  auto model = ml::GradientBoosting::grabit(sigma, params_);
-  model.fit(snapshot_, targets);
+  const double sigma = std::max(stddev(session_.y_fin()), 1e-3);
+  const Matrix& snapshot = session_.snapshot();
+
+  // Geometric refresh on the finished count: the snapshot's row count never
+  // grows, but the model's information content is the uncensored set — once
+  // that outgrows the last full fit's (warm_refresh_due), trees trained
+  // against the stale censoring horizon get rebuilt whole (amortized O(1)
+  // refreshes, none at late checkpoints).
+  if (!session_.incremental() || !model_.has_value() ||
+      !session_.advanced() ||
+      warm_refresh_due(view, view.finished().size(), full_fit_finished_)) {
+    auto warm = params_;
+    warm.warm_start = session_.incremental();
+    model_.emplace(ml::GradientBoosting::grabit(sigma, warm));
+    model_->fit(snapshot, targets);
+    last_fit_cp_ = view.index();
+    full_fit_finished_ = view.finished().size();
+  } else {
+    // Warm continuation over the snapshot: σ tracks the finished set and the
+    // censoring horizon moved, both plain target/loss changes. The active
+    // set for the continuation rounds is every row whose (features, target)
+    // pair moved since the last fit: the trace-change-detected rows (whose
+    // cached scores and bins are refreshed) UNION the still-running rows
+    // (censored targets advanced with τrun even where features did not)
+    // UNION the newly finished rows — a task completing with a
+    // bitwise-unchanged row is in neither of the former sets, yet its
+    // target flipped from censored to its revealed exact latency.
+    model_->set_loss(std::make_unique<ml::TobitLoss>(sigma));
+    view.delta_since(last_fit_cp_, &fin_scratch_, &changed_scratch_);
+    const auto running = view.running();
+    changed_scratch_.insert(changed_scratch_.end(), running.begin(),
+                            running.end());
+    changed_scratch_.insert(changed_scratch_.end(), fin_scratch_.begin(),
+                            fin_scratch_.end());
+    std::sort(changed_scratch_.begin(), changed_scratch_.end());
+    changed_scratch_.erase(
+        std::unique(changed_scratch_.begin(), changed_scratch_.end()),
+        changed_scratch_.end());
+    model_->continue_fit(snapshot, targets,
+                         std::min(12, std::max(1, params_.n_rounds / 2)),
+                         changed_scratch_);
+    last_fit_cp_ = view.index();
+  }
+
   std::vector<std::size_t> flagged;
   for (auto i : candidates) {
-    if (model.predict(view.row(i)) >= tau_stra_) flagged.push_back(i);
+    if (model_->predict(view.row(i)) >= tau_stra_) flagged.push_back(i);
   }
   return flagged;
 }
 
 // --------------------------------------------------------------- CoxPH ----
 
-CoxPredictor::CoxPredictor(censored::CoxParams params) : params_(params) {}
+CoxPredictor::CoxPredictor(censored::CoxParams params, RefitPolicy refit)
+    : params_(params), session_(refit) {}
 
 void CoxPredictor::initialize(const JobContext& context) {
   tau_stra_ = context.tau_stra;
+  session_.reset();
 }
 
 std::vector<std::size_t> CoxPredictor::predict_stragglers(
     const trace::CheckpointView& view,
     std::span<const std::size_t> candidates) {
   if (view.finished().empty() || candidates.empty()) return {};
+  session_.observe(view);
   std::vector<censored::SurvivalObservation> obs(view.task_count());
   for (auto i : view.finished()) obs[i] = {view.revealed_latency(i), true};
   for (auto i : view.running()) obs[i] = {view.tau_run(), false};
-  view.snapshot(&snapshot_);
   censored::CoxPh model(params_);
-  model.fit(snapshot_, obs);
+  model.fit(session_.snapshot(), obs);
   std::vector<std::size_t> flagged;
   for (auto i : candidates) {
     if (model.survival(tau_stra_, view.row(i)) >= 0.5) {
@@ -230,8 +287,11 @@ std::vector<std::size_t> CoxPredictor::predict_stragglers(
 
 WranglerPredictor::WranglerPredictor(ml::SvmParams params,
                                      double train_fraction,
-                                     std::uint64_t seed)
-    : params_(params), train_fraction_(train_fraction), seed_(seed) {
+                                     std::uint64_t seed, RefitPolicy refit)
+    : params_(params),
+      train_fraction_(train_fraction),
+      seed_(seed),
+      refit_(refit) {
   NURD_CHECK(train_fraction > 0.0 && train_fraction < 1.0,
              "train_fraction must be in (0,1)");
 }
@@ -250,6 +310,10 @@ void WranglerPredictor::initialize(const JobContext& context) {
   train_ids_ = rng.sample_without_replacement(n, std::min(k, n));
   const auto labels = context.offline->labels();
   labels_.assign(labels.begin(), labels.end());
+  y_.clear();
+  w_.clear();
+  train_pos_.clear();
+  x_as_of_ = trace::kNoCheckpoint;
 }
 
 std::vector<std::size_t> WranglerPredictor::predict_stragglers(
@@ -258,23 +322,50 @@ std::vector<std::size_t> WranglerPredictor::predict_stragglers(
   if (candidates.empty()) return {};
 
   // Oversample stragglers by weighting them to parity with non-stragglers.
+  // The sample and its labels are fixed per job, so the targets and weights
+  // are built once and reused.
   std::size_t pos = 0;
   for (auto i : train_ids_) pos += static_cast<std::size_t>(labels_[i]);
   const std::size_t neg = train_ids_.size() - pos;
   if (pos == 0 || neg == 0) return {};  // degenerate sample: abstain
-  const double pos_weight =
-      static_cast<double>(neg) / static_cast<double>(pos);
-
-  view.gather_rows(train_ids_, &x_);
-  std::vector<double> y, w;
-  y.reserve(train_ids_.size());
-  w.reserve(train_ids_.size());
-  for (auto i : train_ids_) {
-    y.push_back(labels_[i]);
-    w.push_back(labels_[i] == 1 ? pos_weight : 1.0);
+  if (y_.empty()) {
+    const double pos_weight =
+        static_cast<double>(neg) / static_cast<double>(pos);
+    y_.reserve(train_ids_.size());
+    w_.reserve(train_ids_.size());
+    for (auto i : train_ids_) {
+      y_.push_back(labels_[i]);
+      w_.push_back(labels_[i] == 1 ? pos_weight : 1.0);
+    }
   }
+
+  // Training rows: full re-gather under kFull (the reference path); under
+  // kIncremental only the change-detected rows that belong to the training
+  // sample are patched — identical matrix content, delta-sized cost.
+  const bool patch = refit_ == RefitPolicy::kIncremental &&
+                     x_as_of_ != trace::kNoCheckpoint &&
+                     x_as_of_ <= view.index();
+  if (!patch) {
+    view.gather_rows(train_ids_, &x_);
+    if (refit_ == RefitPolicy::kIncremental && train_pos_.empty()) {
+      train_pos_.assign(view.task_count(), kNotInTrain);
+      for (std::size_t r = 0; r < train_ids_.size(); ++r) {
+        train_pos_[train_ids_[r]] = r;
+      }
+    }
+  } else {
+    view.delta_since(x_as_of_, nullptr, &changed_scratch_);
+    for (const auto task : changed_scratch_) {
+      const auto r = train_pos_[task];
+      if (r == kNotInTrain) continue;
+      const auto src = view.row(task);
+      std::copy(src.begin(), src.end(), x_.row(r).begin());
+    }
+  }
+  x_as_of_ = view.index();
+
   ml::LinearSVM svm(params_);
-  svm.fit(x_, y, w);
+  svm.fit(x_, y_, w_);
 
   std::vector<std::size_t> flagged;
   for (auto i : candidates) {

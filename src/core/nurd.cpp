@@ -8,7 +8,8 @@
 
 namespace nurd::core {
 
-NurdPredictor::NurdPredictor(NurdParams params) : params_(params) {
+NurdPredictor::NurdPredictor(NurdParams params)
+    : params_(params), session_(params.refit) {
   NURD_CHECK(params_.alpha > 0.0, "alpha must be positive");
   NURD_CHECK(params_.epsilon > 0.0 && params_.epsilon <= 1.0,
              "epsilon must be in (0,1]");
@@ -20,6 +21,9 @@ void NurdPredictor::initialize(const JobContext& context) {
   calibrated_ = false;
   rho_ = 1.0;
   delta_ = 0.0;
+  session_.reset();
+  ht_.reset();
+  gt_.reset();
 }
 
 void NurdPredictor::calibrate(const trace::CheckpointView& view) {
@@ -29,14 +33,15 @@ void NurdPredictor::calibrate(const trace::CheckpointView& view) {
   // Latency indicator ρ from the first observed checkpoint's feature
   // centroids (Algorithm 1 lines 4–6). ρ ≤ 1 ⇒ far tail ⇒ large δ (suppress
   // false positives); ρ > 1 ⇒ near tail ⇒ small/negative δ (recover true
-  // positives).
-  view.gather_rows(view.finished(), &x_fin_);
-  view.gather_rows(view.running(), &x_all_);
-  if (x_fin_.empty() || x_all_.empty()) {
+  // positives). One-shot per job, so plain locals instead of session blocks.
+  Matrix fin_rows, run_rows;
+  view.gather_rows(view.finished(), &fin_rows);
+  view.gather_rows(view.running(), &run_rows);
+  if (fin_rows.empty() || run_rows.empty()) {
     rho_ = 1.0;  // degenerate start: neutral calibration
   } else {
-    const auto c_fin = x_fin_.col_means();
-    const auto c_run = x_all_.col_means();
+    const auto c_fin = fin_rows.col_means();
+    const auto c_run = run_rows.col_means();
     std::vector<double> diff(c_fin.size());
     for (std::size_t j = 0; j < c_fin.size(); ++j) {
       diff[j] = c_run[j] - c_fin[j];
@@ -54,36 +59,39 @@ double NurdPredictor::weight(double propensity) const {
 
 NurdPredictor::CheckpointModels NurdPredictor::fit_models(
     const trace::CheckpointView& view) {
-  const auto finished = view.finished();
-  const auto running = view.running();
+  session_.observe(view);
   CheckpointModels models;
-  if (finished.empty()) return models;
+  if (view.finished().empty()) {
+    ht_.reset();
+    gt_.reset();
+    return models;
+  }
 
-  // ht: latency model on finished tasks (Algorithm 1 line 11).
-  view.gather_rows(finished, &x_fin_);
-  view.finished_latencies(&y_fin_);
-  models.ht.emplace(ml::GradientBoosting::regressor(params_.gbt));
-  models.ht->fit(x_fin_, y_fin_);
+  // ht: latency model on finished tasks (Algorithm 1 line 11). kFull refits
+  // from scratch on the session's id-ordered finished block — bit-identical
+  // to the published algorithm; kIncremental warm-continues the ensemble
+  // (and skips entirely when a checkpoint revealed no completion).
+  refit_finished_gbt(session_, params_.gbt, &ht_);
+  models.ht = &*ht_.model;
 
   // gt: propensity of membership in the finished set — an unweighted
   // logistic regression on finished(1) vs running(0), exactly Eq. 2: the
   // propensity reflects both the class prior (how much of the job has
   // finished) and feature similarity. Absent when one class is missing.
-  if (!running.empty()) {
-    x_all_.reset(view.feature_count());
-    x_all_.reserve_rows(finished.size() + running.size());
-    y_all_.clear();
-    y_all_.reserve(finished.size() + running.size());
-    for (auto i : finished) {
-      x_all_.push_row(view.row(i));
-      y_all_.push_back(1.0);
+  // Running rows drift every checkpoint, so gt refits regardless of policy;
+  // kIncremental warm-starts Newton from the previous checkpoint's weights.
+  if (!view.running().empty()) {
+    const Matrix& x_mem = session_.x_member();
+    const auto y_mem = session_.y_member();
+    if (!session_.incremental() || !gt_.has_value()) {
+      auto propensity = params_.propensity;
+      propensity.warm_start = session_.incremental();
+      gt_.emplace(propensity);
     }
-    for (auto i : running) {
-      x_all_.push_row(view.row(i));
-      y_all_.push_back(0.0);
-    }
-    models.gt.emplace(params_.propensity);
-    models.gt->fit(x_all_, y_all_);
+    gt_->fit(x_mem, y_mem);
+    models.gt = &*gt_;
+  } else {
+    gt_.reset();
   }
   return models;
 }

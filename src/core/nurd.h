@@ -18,14 +18,20 @@
 // Under the CheckpointView API the calibration happens at the FIRST view
 // the predictor observes (the harness always starts at checkpoint 0) —
 // calibrate() is idempotent and exposed so benches can calibrate against a
-// chosen checkpoint explicitly. Refits reuse per-instance scratch matrices
-// (the library's hottest allocation path before this change).
+// chosen checkpoint explicitly. Featurization runs through the shared
+// FitSession layer: under RefitPolicy::kFull both models refit from scratch
+// on the session's seed-ordered blocks (bit-identical to the published
+// Algorithm 1); under kIncremental ht keeps its ensemble and warm-starts
+// extra rounds on the appended completions (skipping entirely when a
+// checkpoint reveals none) and gt warm-starts Newton from the previous
+// checkpoint's weights.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <vector>
 
+#include "core/fit_session.h"
 #include "core/predictor.h"
 #include "ml/gbt.h"
 #include "ml/logistic.h"
@@ -44,6 +50,8 @@ struct NurdParams {
   /// reproduction.
   ml::GbtParams gbt;
   ml::LogisticParams propensity;  ///< PS-model settings
+  /// Checkpoint refit strategy (see core/fit_session.h for the contract).
+  RefitPolicy refit = RefitPolicy::kFull;
 };
 
 /// Online NURD predictor (one instance per job).
@@ -78,18 +86,25 @@ class NurdPredictor final : public StragglerPredictor {
   double weight(double propensity) const;
 
   /// The two models Algorithm 1 fits at a checkpoint: the latency predictor
-  /// ht (absent when no task has finished) and the propensity model gt
-  /// (absent when one class is empty). Exposed so extensions (e.g. the
-  /// transfer-learning variant) can reuse NURD's fitting and reweighting.
+  /// ht (null when no task has finished) and the propensity model gt (null
+  /// when one class is empty). The pointees live in the predictor and stay
+  /// valid until the next fit_models/initialize call — under kIncremental
+  /// they are the SAME models being continued checkpoint to checkpoint.
+  /// Exposed so extensions (e.g. the transfer-learning variant) can reuse
+  /// NURD's fitting and reweighting.
   struct CheckpointModels {
-    std::optional<ml::GradientBoosting> ht;
-    std::optional<ml::LogisticRegression> gt;
+    const ml::GradientBoosting* ht = nullptr;
+    const ml::LogisticRegression* gt = nullptr;
   };
 
-  /// Fits ht and gt from the view's finished/running split. Reuses the
-  /// predictor's scratch buffers, so calls are cheap to repeat per
-  /// checkpoint but not thread-safe across views.
+  /// Observes `view` through the FitSession and refits/continues ht and gt
+  /// per the configured RefitPolicy. Cheap to repeat per checkpoint but not
+  /// thread-safe across views.
   CheckpointModels fit_models(const trace::CheckpointView& view);
+
+  /// The featurization session (exposed so the transfer extension shares the
+  /// same per-checkpoint blocks instead of re-gathering).
+  FitSession& session() { return session_; }
 
  private:
   NurdParams params_;
@@ -98,11 +113,9 @@ class NurdPredictor final : public StragglerPredictor {
   double rho_ = 1.0;
   double delta_ = 0.0;
 
-  // Refit scratch (reused across checkpoints; see ISSUE 2's perf satellite).
-  Matrix x_fin_;
-  Matrix x_all_;
-  std::vector<double> y_fin_;
-  std::vector<double> y_all_;
+  FitSession session_;
+  GbtRefitState ht_;
+  std::optional<ml::LogisticRegression> gt_;
 };
 
 }  // namespace nurd::core

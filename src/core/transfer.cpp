@@ -88,12 +88,14 @@ std::vector<std::size_t> TransferNurdPredictor::predict_stragglers(
 
   // Per-job normalization context for the global model: z-scoring over the
   // current snapshot, latency scale from the finished tasks' median (the
-  // only latency scale observable online).
-  view.snapshot(&snapshot_);
-  const auto mu = snapshot_.col_means();
-  const auto sd = snapshot_.col_stddevs();
-  view.finished_latencies(&fin_lat_);
-  const double scale = std::max(median(fin_lat_), 1e-9);
+  // only latency scale observable online). Both come from the base
+  // predictor's session — fit_models() already observed this view, so the
+  // snapshot is assembled (or delta-patched) at most once per checkpoint
+  // between the two of them.
+  const Matrix& snapshot = base_.session().snapshot();
+  const auto mu = snapshot.col_means();
+  const auto sd = snapshot.col_stddevs();
+  const double scale = std::max(median(base_.session().y_fin()), 1e-9);
   const double lam = lambda(view.finished().size());
 
   std::vector<std::size_t> flagged;

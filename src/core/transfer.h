@@ -78,10 +78,8 @@ class TransferNurdPredictor final : public StragglerPredictor {
  private:
   std::shared_ptr<const TransferModel> global_;
   TransferNurdParams params_;
-  NurdPredictor base_;
+  NurdPredictor base_;  ///< its FitSession also serves this wrapper
   double tau_stra_ = 0.0;
-  Matrix snapshot_;
-  std::vector<double> fin_lat_;
 };
 
 }  // namespace nurd::core

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "trace/replay.h"
 
 namespace nurd::eval {
 
@@ -43,11 +44,18 @@ JobRunResult run_job(const trace::Job& job,
   }
   predictor.initialize(context);
 
+  // The checkpoint stream arrives through the Replay cursor, whose advance
+  // path rebinds one view in place (reusing the partition capacity) — the
+  // same forward-only stream a FitSession-backed predictor consumes
+  // incrementally.
+  trace::Replay replay(job);
+  std::vector<std::size_t> candidates;
   for (std::size_t t = 0; t < T; ++t) {
-    const auto view = job.checkpoint(t);
+    replay.advance();
+    const trace::CheckpointView& view = replay.view();
     // Candidates: running tasks that have not been flagged yet.
     const auto running = view.running();
-    std::vector<std::size_t> candidates;
+    candidates.clear();
     candidates.reserve(running.size());
     for (auto i : running) {
       if (result.flagged_at[i] == kNeverFlagged) candidates.push_back(i);

@@ -28,6 +28,11 @@ GradientBoosting GradientBoosting::grabit(double sigma, GbtParams params) {
   return {std::make_unique<TobitLoss>(sigma), params};
 }
 
+void GradientBoosting::set_loss(std::unique_ptr<Loss> loss) {
+  NURD_CHECK(loss != nullptr, "loss must not be null");
+  loss_ = std::move(loss);
+}
+
 void GradientBoosting::fit(const Matrix& x, std::span<const double> y) {
   std::vector<Target> targets(y.size());
   for (std::size_t i = 0; i < y.size(); ++i) targets[i] = {y[i], false};
@@ -40,32 +45,182 @@ void GradientBoosting::fit(const Matrix& x, std::span<const Target> targets) {
 
   const std::size_t n = x.rows();
   trees_.clear();
+  tree_rate_.clear();
   base_score_ = loss_->init_score(targets);
 
   std::vector<double> score(n, base_score_);
-  std::vector<double> grad(n), hess(n);
   Rng rng(params_.seed);
-
-  std::vector<std::size_t> all_rows(n);
-  std::iota(all_rows.begin(), all_rows.end(), std::size_t{0});
 
   // Histogram backend: quantile-bin every feature ONCE per fit and share the
   // binner across all rounds — per-round row subsamples index into it, so no
   // tree ever re-sorts or re-bins.
   std::optional<FeatureBinner> binner;
   if (histogram_enabled(params_.tree, n)) {
+    std::vector<std::size_t> all_rows(n);
+    std::iota(all_rows.begin(), all_rows.end(), std::size_t{0});
     binner.emplace(x, all_rows, params_.tree.max_bins);
   }
 
-  for (int round = 0; round < params_.n_rounds; ++round) {
-    for (std::size_t i = 0; i < n; ++i) {
-      const auto gh = loss_->grad_hess(targets[i], score[i]);
-      grad[i] = gh.grad;
-      hess[i] = gh.hess;
+  boost(x, targets, params_.n_rounds, params_.learning_rate, score,
+        binner ? &*binner : nullptr, rng);
+  fitted_ = true;
+
+  if (params_.warm_start) {
+    train_score_ = std::move(score);
+    binner_ = std::move(binner);
+    rng_ = rng;
+    n_trained_ = n;
+    n_full_fit_ = n;
+  }
+}
+
+void GradientBoosting::continue_fit(
+    const Matrix& x, std::span<const Target> targets, int rounds,
+    std::span<const std::size_t> changed_rows,
+    std::span<const std::size_t> inserted_rows) {
+  NURD_CHECK(params_.warm_start,
+             "continue_fit requires warm_start in the params");
+  NURD_CHECK(fitted_, "continue_fit requires a prior fit");
+  NURD_CHECK(x.rows() == targets.size(), "row/target count mismatch");
+  NURD_CHECK(x.rows() >= n_trained_, "warm-start fits only grow");
+  NURD_CHECK(inserted_rows.empty() ||
+                 inserted_rows.size() == x.rows() - n_trained_,
+             "inserted_rows must account for every new row");
+  NURD_CHECK(rounds >= 0, "rounds must be non-negative");
+  const std::size_t n = x.rows();
+  // Validate the splice map BEFORE the remap loops below walk the old
+  // buffers: an unsorted or duplicated position would otherwise overrun the
+  // carried-over prefix first and only then hit a guard.
+  for (std::size_t i = 0; i < inserted_rows.size(); ++i) {
+    NURD_CHECK(inserted_rows[i] < n &&
+                   (i == 0 || inserted_rows[i] > inserted_rows[i - 1]),
+               "inserted_rows must be strictly ascending and in range");
+  }
+
+  // Refresh the cached training scores: inserted rows and caller-reported
+  // changed rows pass through the ensemble once; every other row's cache is
+  // carried (appends) or remapped (mid-block insertions) over. This is the
+  // O(n + Δ·trees) step a from-scratch refit pays as O(n·rounds) instead.
+  if (inserted_rows.empty()) {
+    train_score_.resize(n);
+    for (std::size_t r = n_trained_; r < n; ++r) {
+      train_score_[r] = predict_raw(x.row(r));
+    }
+  } else {
+    std::vector<double> remapped(n);
+    std::size_t old_r = 0;
+    std::size_t next = 0;
+    for (std::size_t r = 0; r < n; ++r) {
+      if (next < inserted_rows.size() && inserted_rows[next] == r) {
+        remapped[r] = predict_raw(x.row(r));
+        ++next;
+      } else {
+        remapped[r] = train_score_[old_r++];
+      }
+    }
+    train_score_ = std::move(remapped);
+  }
+  for (const auto r : changed_rows) {
+    NURD_CHECK(r < n, "changed row index out of range");
+    train_score_[r] = predict_raw(x.row(r));
+  }
+
+  // The binner is built once, the first time the fit reaches histogram
+  // scale, and its quantile edges are FROZEN from then on: later rows are
+  // spliced in against the frozen sketch (clamping into boundary bins),
+  // which is what makes per-checkpoint bin maintenance O(n·d) copy instead
+  // of O(n·d·log n) re-sorting.
+  if (histogram_enabled(params_.tree, n)) {
+    if (!binner_) {
+      std::vector<std::size_t> all_rows(n);
+      std::iota(all_rows.begin(), all_rows.end(), std::size_t{0});
+      binner_.emplace(x, all_rows, params_.tree.max_bins);
+    } else {
+      if (inserted_rows.empty()) {
+        binner_->append_rows(x);
+      } else {
+        binner_->insert_rows(x, inserted_rows);
+      }
+      binner_->rebin_rows(x, changed_rows);
+    }
+  }
+
+  // Active-set continuation: a converged ensemble's gradient is concentrated
+  // on the rows whose (features, target) pair actually moved — the inserted
+  // and changed rows — so the continuation trees are fitted on that subset
+  // (plus anchors, below) only. Each round then costs O(|active|·d) for
+  // split finding plus O(n·depth) to keep every cached score current,
+  // instead of the full fit's O(n·d): the round COUNT stays at the full
+  // budget (residual absorption is multiplicative per round, (1−lr)^rounds,
+  // and does not shrink with the delta), the round COST is what the delta
+  // buys down. With nothing marked new or changed the subset is empty and
+  // the rounds fall back to whole-block boosting (plain "more rounds"
+  // continuation).
+  std::vector<std::size_t> subset(inserted_rows.begin(), inserted_rows.end());
+  subset.insert(subset.end(), changed_rows.begin(), changed_rows.end());
+
+  // Anchors: a sample of settled rows (gradient ≈ 0), three per moved row,
+  // joins the active set. Without them a tree fitted on moved rows alone
+  // assigns every leaf the moved rows' correction, which BLEEDS onto all the
+  // settled rows sharing those feature regions; with them the split gain
+  // rewards isolating the moved rows first (their gradients differ from the
+  // anchors'), pure-fresh leaves take the full Newton step, and mixed leaves
+  // are damped by the anchors' Hessian mass.
+  if (!subset.empty() && subset.size() < n) {
+    const auto anchors =
+        std::min(n - subset.size(), 3 * subset.size());
+    const auto sampled = rng_.sample_without_replacement(n, anchors);
+    subset.insert(subset.end(), sampled.begin(), sampled.end());
+  }
+  std::sort(subset.begin(), subset.end());
+  subset.erase(std::unique(subset.begin(), subset.end()), subset.end());
+
+  const double rate =
+      std::min(0.5, params_.warm_rate_factor * params_.learning_rate);
+  boost(x, targets, rounds, rate, train_score_,
+        binner_ ? &*binner_ : nullptr, rng_, subset);
+  n_trained_ = n;
+}
+
+void GradientBoosting::continue_fit(const Matrix& x, std::span<const double> y,
+                                    int rounds,
+                                    std::span<const std::size_t> changed_rows,
+                                    std::span<const std::size_t> inserted_rows) {
+  std::vector<Target> targets(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) targets[i] = {y[i], false};
+  continue_fit(x, targets, rounds, changed_rows, inserted_rows);
+}
+
+void GradientBoosting::boost(const Matrix& x, std::span<const Target> targets,
+                             int rounds, double rate,
+                             std::vector<double>& score,
+                             const FeatureBinner* binner, Rng& rng,
+                             std::span<const std::size_t> subset) {
+  const std::size_t n = x.rows();
+  std::vector<double> grad(n), hess(n);
+  std::vector<std::size_t> all_rows(n);
+  std::iota(all_rows.begin(), all_rows.end(), std::size_t{0});
+  const bool active_set = !subset.empty();
+
+  for (int round = 0; round < rounds; ++round) {
+    if (active_set) {
+      for (const auto i : subset) {
+        const auto gh = loss_->grad_hess(targets[i], score[i]);
+        grad[i] = gh.grad;
+        hess[i] = gh.hess;
+      }
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto gh = loss_->grad_hess(targets[i], score[i]);
+        grad[i] = gh.grad;
+        hess[i] = gh.hess;
+      }
     }
 
     std::vector<std::size_t> rows;
-    if (params_.subsample >= 1.0) {
+    if (active_set) {
+      rows.assign(subset.begin(), subset.end());
+    } else if (params_.subsample >= 1.0) {
       rows = all_rows;
     } else {
       const auto k = std::max<std::size_t>(
@@ -75,24 +230,26 @@ void GradientBoosting::fit(const Matrix& x, std::span<const Target> targets) {
     }
 
     RegressionTree tree;
-    if (binner) {
+    if (binner != nullptr) {
       tree.fit(x, *binner, grad, hess, rows, params_.tree, rng);
     } else {
       tree.fit(x, grad, hess, rows, params_.tree, rng);
     }
 
     for (std::size_t i = 0; i < n; ++i) {
-      score[i] += params_.learning_rate * tree.predict(x.row(i));
+      score[i] += rate * tree.predict(x.row(i));
     }
     trees_.push_back(std::move(tree));
+    tree_rate_.push_back(rate);
   }
-  fitted_ = true;
 }
 
 double GradientBoosting::predict_raw(std::span<const double> row) const {
   NURD_CHECK(fitted_, "model not fitted");
   double s = base_score_;
-  for (const auto& t : trees_) s += params_.learning_rate * t.predict(row);
+  for (std::size_t i = 0; i < trees_.size(); ++i) {
+    s += tree_rate_[i] * trees_[i].predict(row);
+  }
   return s;
 }
 

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -27,6 +28,22 @@ struct GbtParams {
   double subsample = 1.0;  ///< row subsampling fraction per round
   TreeParams tree;
   std::uint64_t seed = 7;
+  /// Retain warm-start state across fits: the per-row training scores, the
+  /// feature binner (edges frozen at the first histogram-scale fit), and the
+  /// RNG stream, so continue_fit() can extend the ensemble on grown data
+  /// instead of refitting from scratch. Costs O(n) doubles + the binner;
+  /// leave off (the default) for one-shot fits — fit() itself is
+  /// bit-identical either way.
+  bool warm_start = false;
+  /// Step-size factor for continue_fit() rounds relative to learning_rate
+  /// (capped at 0.5 absolute). A damped rate recovers a moved row's residual
+  /// only as 1−(1−rate)^rounds, so this is the knob that balances a warm
+  /// continuation's tail tracking against overshoot — tuned per dataset (and
+  /// for Grabit per method) through RegistryConfig so the warm path's
+  /// macro-F1 stays within 0.01 of the full-refit reference (bench_refit
+  /// --check). At the default 1.0, fit(a)+continue_fit(b) on unchanged data
+  /// is bit-identical to fit(a+b).
+  double warm_rate_factor = 1.0;
 };
 
 /// Newton-boosted tree ensemble. Fit once; predict is const and thread-safe.
@@ -50,6 +67,33 @@ class GradientBoosting {
   /// Fits with plain values (no censoring) — regression/classification path.
   void fit(const Matrix& x, std::span<const double> y);
 
+  /// Warm-start continuation (requires params.warm_start and a prior fit):
+  /// keeps every existing tree and boosts `rounds` more on the current data.
+  /// Rows of `x` must be the previous fit's rows in their old relative order
+  /// with any new rows spliced in at the (sorted) positions `inserted_rows`
+  /// — empty means they were appended at the tail, the common convention.
+  /// Prior rows are assumed unchanged except for the (new-layout) indices in
+  /// `changed_rows`; inserted and changed rows pass through the ensemble
+  /// once to refresh the cached training scores and histogram bins, every
+  /// other row's cache is carried (or remapped) over. Targets may change
+  /// freely between calls (each round recomputes gradients), which is how
+  /// censored fits advance their horizon and Grabit re-scales σ.
+  /// `rounds == 0` just absorbs the new/changed rows.
+  ///
+  /// Continuation rounds run at warm_rate_factor × learning_rate (capped at
+  /// 0.5): the rows a continuation must absorb are exactly the
+  /// just-revealed latency tail that the flag threshold reads, so the
+  /// continuation trades a little of full boosting's shrinkage for a tail
+  /// that tracks the reference refit much more closely.
+  void continue_fit(const Matrix& x, std::span<const Target> targets,
+                    int rounds, std::span<const std::size_t> changed_rows = {},
+                    std::span<const std::size_t> inserted_rows = {});
+
+  /// continue_fit with plain (uncensored) targets.
+  void continue_fit(const Matrix& x, std::span<const double> y, int rounds,
+                    std::span<const std::size_t> changed_rows = {},
+                    std::span<const std::size_t> inserted_rows = {});
+
   /// Transformed prediction for one row (identity for regression, probability
   /// for logistic).
   double predict(std::span<const double> row) const;
@@ -63,17 +107,57 @@ class GradientBoosting {
   /// Number of boosting rounds actually fitted.
   std::size_t tree_count() const { return trees_.size(); }
 
+  /// Rows covered by the last fit/continue_fit (0 unless warm_start): the
+  /// warm-start bookkeeping callers use to detect "the training block grew
+  /// since this model last saw it".
+  std::size_t trained_rows() const { return n_trained_; }
+
+  /// Rows covered by the last FULL fit() (0 unless warm_start). Warm-start
+  /// policies use this for geometric refresh: once the data has grown well
+  /// past the ensemble's from-scratch foundation (say 2x), a fresh fit costs
+  /// amortized O(1) per checkpoint and clears accumulated early-data bias.
+  std::size_t full_fit_rows() const { return n_full_fit_; }
+
+  /// Replaces the loss for subsequent continue_fit rounds (and predict
+  /// transforms). For losses with a data-dependent scale — Grabit re-derives
+  /// σ from the finished set each checkpoint — a warm-started continuation
+  /// swaps the loss in rather than rebuilding the ensemble.
+  void set_loss(std::unique_ptr<Loss> loss);
+
   /// Training loss trajectory is not retained; this reports the base score.
   double base_score() const { return base_score_; }
 
   bool fitted() const { return fitted_; }
 
  private:
+  /// The shared boosting loop: `rounds` gradient/tree/score iterations at
+  /// step size `rate`, appending to trees_ (each tree remembers its own rate
+  /// in tree_rate_). With `subset` empty every round trains on all rows of
+  /// `x` (fit()'s path — subsampling applies); with a non-empty `subset` the
+  /// rounds are active-set continuations: gradients and tree fits cover the
+  /// subset only, while the score update still sweeps every row so the
+  /// caches stay current.
+  void boost(const Matrix& x, std::span<const Target> targets, int rounds,
+             double rate, std::vector<double>& score,
+             const FeatureBinner* binner, Rng& rng,
+             std::span<const std::size_t> subset = {});
+
   std::unique_ptr<Loss> loss_;
   GbtParams params_;
   std::vector<RegressionTree> trees_;
+  /// Per-tree step size. fit() trees all carry params.learning_rate;
+  /// continue_fit() trees carry the continuation rate (see continue_fit),
+  /// so the two can coexist in one ensemble.
+  std::vector<double> tree_rate_;
   double base_score_ = 0.0;
   bool fitted_ = false;
+
+  // Warm-start state, retained only when params_.warm_start.
+  std::vector<double> train_score_;      ///< cached raw score per training row
+  std::optional<FeatureBinner> binner_;  ///< frozen-edge binner
+  Rng rng_{0};                           ///< continues fit()'s stream
+  std::size_t n_trained_ = 0;            ///< rows covered by the last fit
+  std::size_t n_full_fit_ = 0;           ///< rows covered by the last fit()
 };
 
 }  // namespace nurd::ml

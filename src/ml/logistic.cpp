@@ -9,6 +9,30 @@
 
 namespace nurd::ml {
 
+namespace {
+
+/// Penalized negative log-likelihood at θ = [w; b] (bias unpenalized), the
+/// merit function of the warm path's damped Newton. log(1+eᶻ) is evaluated
+/// in its overflow-safe form.
+double penalized_nll(const Matrix& xs, std::span<const double> y,
+                     std::span<const double> sample_weight, double l2,
+                     std::span<const double> theta) {
+  const std::size_t d = xs.cols();
+  double nll = 0.0;
+  for (std::size_t i = 0; i < xs.rows(); ++i) {
+    auto row = xs.row(i);
+    double z = theta[d];
+    for (std::size_t j = 0; j < d; ++j) z += theta[j] * row[j];
+    const double log1pexp = std::max(z, 0.0) + std::log1p(std::exp(-std::abs(z)));
+    const double sw = sample_weight.empty() ? 1.0 : sample_weight[i];
+    nll += sw * (log1pexp - y[i] * z);
+  }
+  for (std::size_t j = 0; j < d; ++j) nll += 0.5 * l2 * theta[j] * theta[j];
+  return nll;
+}
+
+}  // namespace
+
 LogisticRegression::LogisticRegression(LogisticParams params)
     : params_(params) {
   NURD_CHECK(params_.l2 >= 0.0, "l2 must be non-negative");
@@ -23,11 +47,46 @@ void LogisticRegression::fit(const Matrix& x, std::span<const double> y,
 
   const std::size_t n = x.rows();
   const std::size_t d = x.cols();
+
+  // Warm start: re-express the previous solution in raw-feature space BEFORE
+  // the scaler is refitted, then map it into the new standardization below.
+  // z = b + Σ wⱼ(xⱼ−μⱼ)/σⱼ = (b − Σ wⱼμⱼ/σⱼ) + Σ (wⱼ/σⱼ)xⱼ.
+  const bool warm = params_.warm_start && fitted_ && w_.size() == d;
+  std::vector<double> w_raw(d, 0.0);
+  double b_raw = 0.0;
+  if (warm) {
+    const auto& mu = scaler_.mean();
+    const auto& sd = scaler_.scale();
+    b_raw = b_;
+    for (std::size_t j = 0; j < d; ++j) {
+      w_raw[j] = w_[j] / sd[j];
+      b_raw -= w_[j] * mu[j] / sd[j];
+    }
+  }
+
   const Matrix xs = scaler_.fit_transform(x);
 
   // Parameter vector θ = [w; b], dimension d+1 (bias last, unpenalized).
   const std::size_t p = d + 1;
   std::vector<double> theta(p, 0.0);
+  if (warm) {
+    const auto& mu = scaler_.mean();
+    const auto& sd = scaler_.scale();
+    theta[d] = b_raw;
+    for (std::size_t j = 0; j < d; ++j) {
+      theta[j] = w_raw[j] * sd[j];
+      theta[d] += w_raw[j] * mu[j];
+    }
+    // Safeguard: a previous optimum can sit in a saturated region of the NEW
+    // data (σ(z) pinned at 0/1 ⇒ a floor-ridden Hessian), where undamped
+    // Newton stalls instead of converging. Only keep the warm point if it
+    // actually beats the cold start on the new objective.
+    const std::vector<double> zero(p, 0.0);
+    if (penalized_nll(xs, y, sample_weight, params_.l2, theta) >
+        penalized_nll(xs, y, sample_weight, params_.l2, zero)) {
+      std::fill(theta.begin(), theta.end(), 0.0);
+    }
+  }
 
   auto weight_of = [&](std::size_t i) {
     return sample_weight.empty() ? 1.0 : sample_weight[i];
@@ -67,9 +126,40 @@ void LogisticRegression::fit(const Matrix& x, std::span<const double> y,
     if (!l) break;  // numerically degenerate; keep current estimate
     const auto step = cholesky_solve(*l, grad);
     double max_step = 0.0;
-    for (std::size_t j = 0; j < p; ++j) {
-      theta[j] -= step[j];
-      max_step = std::max(max_step, std::abs(step[j]));
+    if (!params_.warm_start) {
+      // Reference path: the undamped Newton step, bit-identical to the seed.
+      for (std::size_t j = 0; j < p; ++j) {
+        theta[j] -= step[j];
+        max_step = std::max(max_step, std::abs(step[j]));
+      }
+    } else {
+      // Damped path: a warm start may iterate through saturated regions
+      // where the full Newton step overshoots — backtrack until the
+      // objective stops getting worse. If NO halving yields a non-worsening
+      // step (the regularized direction is not a descent direction at all),
+      // keep the current estimate rather than committing a worsening one;
+      // max_step stays 0 and the solve stops here.
+      const double obj =
+          penalized_nll(xs, y, sample_weight, params_.l2, theta);
+      double scale = 1.0;
+      bool accepted = false;
+      std::vector<double> trial(p);
+      for (int halving = 0; halving < 8; ++halving) {
+        for (std::size_t j = 0; j < p; ++j) {
+          trial[j] = theta[j] - scale * step[j];
+        }
+        if (penalized_nll(xs, y, sample_weight, params_.l2, trial) <= obj) {
+          accepted = true;
+          break;
+        }
+        scale *= 0.5;
+      }
+      if (accepted) {
+        for (std::size_t j = 0; j < p; ++j) {
+          max_step = std::max(max_step, std::abs(theta[j] - trial[j]));
+          theta[j] = trial[j];
+        }
+      }
     }
     if (max_step < params_.tolerance) break;
   }

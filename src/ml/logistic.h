@@ -17,6 +17,13 @@ struct LogisticParams {
   double l2 = 1.0;          ///< ridge penalty on weights (not intercept)
   int max_iterations = 25;  ///< Newton iterations
   double tolerance = 1e-8;  ///< stop when max |step| falls below this
+  /// Start refits from the previous fit's weights instead of zero. The
+  /// previous solution is mapped through the standardization change (old
+  /// scaler → raw space → new scaler), so it is an exact re-expression of
+  /// the last decision function — adjacent checkpoints' propensity fits then
+  /// converge in a couple of Newton steps instead of a cold solve. Off by
+  /// default: a cold fit is the reference (RefitPolicy::kFull) behavior.
+  bool warm_start = false;
 };
 
 /// Binary logistic regression: P(y=1|x) = σ(w·x̃ + b) on standardized

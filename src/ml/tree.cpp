@@ -139,6 +139,81 @@ FeatureBinner::FeatureBinner(const Matrix& x,
   }
 }
 
+void FeatureBinner::append_rows(const Matrix& x) {
+  NURD_CHECK(n_cols_ == x.cols(), "binner width must match the matrix");
+  NURD_CHECK(x.rows() >= n_rows_, "append_rows cannot shrink the binner");
+  const std::size_t n_new = x.rows();
+  if (n_new == n_rows_) return;
+
+  // Column-major layout (the histogram build's locality) means growing the
+  // row count re-strides every feature slice: one O(n·d) copy, but zero
+  // sorting and zero edge work — the quantile sketch stays frozen.
+  std::vector<std::uint16_t> grown(n_cols_ * n_new);
+  for (std::size_t f = 0; f < n_cols_; ++f) {
+    const auto* src = bins_.data() + f * n_rows_;
+    auto* dst = grown.data() + f * n_new;
+    std::copy(src, src + n_rows_, dst);
+    const auto& edges = edges_[f];
+    const auto col = x.col_view(f);
+    for (std::size_t r = n_rows_; r < n_new; ++r) {
+      const auto it = std::lower_bound(edges.begin(), edges.end(), col[r]);
+      dst[r] = static_cast<std::uint16_t>(it - edges.begin());
+    }
+  }
+  bins_ = std::move(grown);
+  n_rows_ = n_new;
+}
+
+void FeatureBinner::insert_rows(const Matrix& x,
+                                std::span<const std::size_t> inserted) {
+  NURD_CHECK(n_cols_ == x.cols(), "binner width must match the matrix");
+  NURD_CHECK(x.rows() == n_rows_ + inserted.size(),
+             "inserted count must account for every new row");
+  const std::size_t n_new = x.rows();
+  if (inserted.empty()) return;
+  // Validate the splice map before the merge-copy walks the old slices: an
+  // unsorted or duplicated position would overrun them.
+  for (std::size_t i = 0; i < inserted.size(); ++i) {
+    NURD_CHECK(inserted[i] < n_new && (i == 0 || inserted[i] > inserted[i - 1]),
+               "inserted positions must be strictly ascending and in range");
+  }
+
+  std::vector<std::uint16_t> grown(n_cols_ * n_new);
+  for (std::size_t f = 0; f < n_cols_; ++f) {
+    const auto* src = bins_.data() + f * n_rows_;
+    auto* dst = grown.data() + f * n_new;
+    const auto& edges = edges_[f];
+    const auto col = x.col_view(f);
+    std::size_t old_r = 0;
+    std::size_t next = 0;
+    for (std::size_t r = 0; r < n_new; ++r) {
+      if (next < inserted.size() && inserted[next] == r) {
+        const auto it = std::lower_bound(edges.begin(), edges.end(), col[r]);
+        dst[r] = static_cast<std::uint16_t>(it - edges.begin());
+        ++next;
+      } else {
+        dst[r] = src[old_r++];
+      }
+    }
+  }
+  bins_ = std::move(grown);
+  n_rows_ = n_new;
+}
+
+void FeatureBinner::rebin_rows(const Matrix& x,
+                               std::span<const std::size_t> changed) {
+  NURD_CHECK(n_cols_ == x.cols(), "binner width must match the matrix");
+  for (std::size_t f = 0; f < n_cols_; ++f) {
+    const auto& edges = edges_[f];
+    auto* out = bins_.data() + f * n_rows_;
+    for (const auto r : changed) {
+      NURD_CHECK(r < n_rows_, "rebin_rows row out of range");
+      const auto it = std::lower_bound(edges.begin(), edges.end(), x(r, f));
+      out[r] = static_cast<std::uint16_t>(it - edges.begin());
+    }
+  }
+}
+
 // Histogram-backend fit state. Histograms are flat double arrays with three
 // slots per bin — (G, H, count) — so sibling subtraction is one vectorizable
 // loop. offset[f]*3 locates feature f's bins.

@@ -63,6 +63,27 @@ class FeatureBinner {
   FeatureBinner(const Matrix& x, std::span<const std::size_t> rows,
                 int max_bins);
 
+  /// Bins the rows `x` gained since this binner last saw it (x.rows() may
+  /// equal rows(), a no-op) using the FROZEN edges — no re-sorting, no edge
+  /// recomputation. Rows [0, rows()) of `x` must be the rows previously
+  /// binned (warm-start fits append finished tasks, they never reorder).
+  /// Values outside the frozen edge range clamp into the boundary bins,
+  /// exactly as query-time binning always has.
+  void append_rows(const Matrix& x);
+
+  /// append_rows' general form: the previously binned rows appear in `x` in
+  /// their old relative order but with NEW rows spliced in at the (sorted,
+  /// ascending) positions `inserted`. Old rows' bins are remapped in one
+  /// pass; only the inserted rows meet the frozen edges. This is how a
+  /// warm-start fit follows an id-ordered training block, where a freshly
+  /// finished task lands mid-block rather than at the end.
+  void insert_rows(const Matrix& x, std::span<const std::size_t> inserted);
+
+  /// Re-bins the listed (already covered) rows against the frozen edges —
+  /// the drifting-running-task path: a warm-start fit over a snapshot
+  /// refreshes only the rows the trace delta reports as changed.
+  void rebin_rows(const Matrix& x, std::span<const std::size_t> changed);
+
   std::size_t rows() const { return n_rows_; }
   std::size_t cols() const { return n_cols_; }
 

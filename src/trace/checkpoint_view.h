@@ -48,6 +48,11 @@ class CheckpointView {
 
   std::size_t index() const { return t_; }
   double tau_run() const { return store_->tau_run(t_); }
+
+  /// The backing store — the stream identity an incremental observer (e.g.
+  /// core::FitSession) uses to tell "the next view of the same job" from "a
+  /// view of some other job".
+  const TraceStore& store() const { return *store_; }
   std::size_t task_count() const { return store_->task_count(); }
   std::size_t feature_count() const { return store_->feature_count(); }
 
@@ -83,6 +88,20 @@ class CheckpointView {
   /// Revealed latencies of the finished set, in finished() order, into the
   /// reused `*out`.
   void finished_latencies(std::vector<double>* out) const;
+
+  /// Delta against a previously observed checkpoint of the same stream:
+  /// tasks that finished in (prev, t] and tasks whose observed row changed in
+  /// (prev, t], both ascending task id into reused capacity (either pointer
+  /// may be null). `prev == kNoCheckpoint` means nothing observed yet;
+  /// `prev == index()` yields empty deltas (a repeated view adds nothing).
+  /// This is what lets featurization APPEND per checkpoint instead of
+  /// rebuilding: the contract `row(t, task) != row(prev, task) ⇒ task ∈
+  /// changed_rows` holds for dense-backed views too, since both backings
+  /// reconstruct the same observations.
+  void delta_since(std::size_t prev, std::vector<std::size_t>* newly_finished,
+                   std::vector<std::size_t>* changed_rows) const {
+    store_->delta(prev, t_, newly_finished, changed_rows);
+  }
 
   /// Re-points a columnar-backed view at checkpoint `t` of the same store,
   /// reusing the partition vectors' capacity — the replay cursor's advance

@@ -91,6 +91,23 @@ void TraceStore::finalize() {
     }
     version_offset_[task + 1] = static_cast<std::uint32_t>(version_cp_.size());
   }
+
+  // Checkpoint-major inverse (counting sort of the version stamps). The
+  // task-major walk visits tasks in ascending id, so each checkpoint's slice
+  // comes out id-sorted without an explicit sort.
+  cp_offset_.assign(taus_.size() + 1, 0);
+  for (const auto cp : version_cp_) ++cp_offset_[cp + 1];
+  for (std::size_t t = 0; t < taus_.size(); ++t) {
+    cp_offset_[t + 1] += cp_offset_[t];
+  }
+  cp_task_.resize(total);
+  std::vector<std::uint32_t> fill(cp_offset_.begin(), cp_offset_.end() - 1);
+  for (std::size_t task = 0; task < n; ++task) {
+    for (std::uint32_t v = version_offset_[task]; v < version_offset_[task + 1];
+         ++v) {
+      cp_task_[fill[version_cp_[v]]++] = static_cast<std::uint32_t>(task);
+    }
+  }
   build_versions_.clear();
   build_versions_.shrink_to_fit();
   build_data_.clear();
@@ -160,6 +177,46 @@ bool TraceStore::is_finished(std::size_t t, std::size_t task) const {
   return rank_[task] < split_[t];
 }
 
+void TraceStore::delta(std::size_t prev, std::size_t t,
+                       std::vector<std::size_t>* newly_finished,
+                       std::vector<std::size_t>* changed_rows) const {
+  check_finalized();
+  NURD_CHECK(t < taus_.size(), "checkpoint index out of range");
+  NURD_CHECK(prev == kNoCheckpoint || prev <= t,
+             "delta requires prev <= t: the store streams forward");
+  const bool from_start = prev == kNoCheckpoint;
+  const std::uint32_t split_prev = from_start ? 0 : split_[prev];
+
+  if (newly_finished != nullptr) {
+    // Tasks whose latency rank entered the finished prefix in (prev, t]:
+    // the by_latency_ slice [split_prev, split_t), re-sorted to ascending id
+    // so nothing about the internal latency order leaks out.
+    newly_finished->assign(by_latency_.begin() + split_prev,
+                           by_latency_.begin() + split_[t]);
+    std::sort(newly_finished->begin(), newly_finished->end());
+  }
+
+  if (changed_rows != nullptr) {
+    changed_rows->clear();
+    const std::size_t lo = from_start ? 0 : cp_offset_[prev + 1];
+    const std::size_t hi = cp_offset_[t + 1];
+    changed_rows->reserve(hi - lo);
+    for (std::size_t v = lo; v < hi; ++v) {
+      changed_rows->push_back(cp_task_[v]);
+    }
+    const std::size_t first_cp = from_start ? 0 : prev + 1;
+    if (t > first_cp) {
+      // Multi-step delta: a task may have versions at several checkpoints in
+      // the range, and the concatenated slices are only id-sorted per
+      // checkpoint. A single-checkpoint slice is already unique and sorted.
+      std::sort(changed_rows->begin(), changed_rows->end());
+      changed_rows->erase(
+          std::unique(changed_rows->begin(), changed_rows->end()),
+          changed_rows->end());
+    }
+  }
+}
+
 std::size_t TraceStore::freeze_checkpoint(std::size_t task) const {
   NURD_CHECK(task < task_count(), "task id out of range");
   // First checkpoint whose finished prefix covers the task's rank; split_ is
@@ -212,7 +269,9 @@ std::size_t TraceStore::memory_bytes() const {
          split_.size() * sizeof(std::uint32_t) +
          version_offset_.size() * sizeof(std::uint32_t) +
          version_cp_.size() * sizeof(std::uint16_t) +
-         version_data_.size() * sizeof(double);
+         version_data_.size() * sizeof(double) +
+         cp_offset_.size() * sizeof(std::uint32_t) +
+         cp_task_.size() * sizeof(std::uint32_t);
 }
 
 std::size_t TraceStore::materialized_bytes() const {

@@ -45,6 +45,11 @@ namespace nurd::trace {
 inline constexpr std::size_t kNeverFrozen =
     std::numeric_limits<std::size_t>::max();
 
+/// Sentinel for delta queries: "no checkpoint observed yet" — everything
+/// finished is newly finished and every task's row counts as changed.
+inline constexpr std::size_t kNoCheckpoint =
+    std::numeric_limits<std::size_t>::max();
+
 class TraceStore {
  public:
   TraceStore() = default;
@@ -103,6 +108,21 @@ class TraceStore {
   /// True iff `task` has finished by checkpoint `t`.
   bool is_finished(std::size_t t, std::size_t task) const;
 
+  /// Incremental-observer delta between two checkpoints of the same stream:
+  /// fills `*newly_finished` with the tasks finishing in (prev, t] and
+  /// `*changed_rows` with the tasks whose observed row at `t` differs from
+  /// their row at `prev` (i.e. tasks with a change-detected overlay version
+  /// stamped in (prev, t] — a task completing with a bitwise-unchanged row is
+  /// newly finished but NOT a changed row). Both sides come back in ascending
+  /// task-id order, reuse the vectors' capacity, and may be null to skip.
+  /// `prev == kNoCheckpoint` means nothing was observed yet: every finished
+  /// task is newly finished and every task's row is new. `prev == t` yields
+  /// empty deltas. Requires prev <= t (or the sentinel) — the store only
+  /// streams forward.
+  void delta(std::size_t prev, std::size_t t,
+             std::vector<std::size_t>* newly_finished,
+             std::vector<std::size_t>* changed_rows) const;
+
   /// Checkpoint at which `task`'s row froze (first checkpoint where it is
   /// finished), or kNeverFrozen.
   std::size_t freeze_checkpoint(std::size_t task) const;
@@ -153,6 +173,14 @@ class TraceStore {
   std::vector<std::uint32_t> version_offset_;
   std::vector<std::uint16_t> version_cp_;
   std::vector<double> version_data_;
+
+  // Checkpoint-major inverse of the CSR index (also built by finalize): the
+  // tasks with a version stamped at checkpoint t occupy
+  // [cp_offset_[t], cp_offset_[t+1]) of cp_task_, in ascending task id. This
+  // is what makes delta()'s changed-rows side O(|changed|) instead of a scan
+  // over every task's version list.
+  std::vector<std::uint32_t> cp_offset_;
+  std::vector<std::uint32_t> cp_task_;
 };
 
 }  // namespace nurd::trace

@@ -1,0 +1,55 @@
+// The method registry: lookup by Table-3 name, the unknown-name diagnostic,
+// and RefitPolicy threading through RegistryConfig.
+#include "core/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace nurd::core {
+namespace {
+
+TEST(Registry, LookupByNameReturnsTheNamedMethod) {
+  for (const char* name : {"NURD", "NURD-NC", "GBTR", "Wrangler", "Grabit"}) {
+    const auto method = predictor_by_name(name);
+    EXPECT_EQ(method.name, name);
+    auto predictor = method.make();
+    ASSERT_NE(predictor, nullptr);
+    EXPECT_EQ(predictor->name(), name);
+  }
+}
+
+TEST(Registry, UnknownNameListsEveryValidMethod) {
+  try {
+    predictor_by_name("NURDD");
+    FAIL() << "lookup of an unknown method must throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("NURDD"), std::string::npos)
+        << "message should echo the bad name";
+    EXPECT_NE(msg.find("valid Table-3 names"), std::string::npos);
+    // Every registry row is spelled out, first to last.
+    for (const auto& method : all_predictors()) {
+      EXPECT_NE(msg.find(method.name), std::string::npos)
+          << "message should list " << method.name << "; got: " << msg;
+    }
+  }
+}
+
+TEST(Registry, RefitPolicyThreadsThroughTheConfig) {
+  RegistryConfig incremental;
+  incremental.refit = RefitPolicy::kIncremental;
+  // Every Table-3 row must still construct under the incremental policy.
+  const auto methods = all_predictors(incremental);
+  EXPECT_EQ(methods.size(), 23u);
+  for (const auto& method : methods) {
+    EXPECT_NE(method.make(), nullptr) << method.name;
+  }
+  // And the tuned configs default to the bit-identical reference path.
+  EXPECT_EQ(google_tuned().refit, RefitPolicy::kFull);
+  EXPECT_EQ(alibaba_tuned().refit, RefitPolicy::kFull);
+}
+
+}  // namespace
+}  // namespace nurd::core

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -263,6 +264,100 @@ TEST(CheckpointViewTest, FinishedLatenciesInFinishedOrder) {
   std::vector<double> lat;
   view.finished_latencies(&lat);
   EXPECT_EQ(lat, (std::vector<double>{1.0, 5.0, 9.0}));
+}
+
+// ---- the view-delta API ----------------------------------------------------
+
+TEST(TraceStoreDelta, HandBuiltDeltasMatchTheStream) {
+  // tiny_store: latencies {1,5,9,20}, taus {2,6,10}; every row drifts with
+  // tau, so every still-observed task is a changed row at each checkpoint.
+  const auto store = tiny_store();
+  std::vector<std::size_t> fin, chg;
+
+  store.delta(kNoCheckpoint, 0, &fin, &chg);
+  EXPECT_EQ(fin, (std::vector<std::size_t>{0}));
+  EXPECT_EQ(chg, (std::vector<std::size_t>{0, 1, 2, 3}));  // base versions
+
+  store.delta(0, 1, &fin, &chg);
+  EXPECT_EQ(fin, (std::vector<std::size_t>{1}));
+  // Task 0 froze at cp 0 — never a changed row again; 1 froze at cp 1 with a
+  // fresh observation, 2 and 3 drifted.
+  EXPECT_EQ(chg, (std::vector<std::size_t>{1, 2, 3}));
+
+  store.delta(1, 2, &fin, &chg);
+  EXPECT_EQ(fin, (std::vector<std::size_t>{2}));
+  EXPECT_EQ(chg, (std::vector<std::size_t>{2, 3}));
+
+  // Multi-step delta spans (0, 2]: union of the two steps.
+  store.delta(0, 2, &fin, &chg);
+  EXPECT_EQ(fin, (std::vector<std::size_t>{1, 2}));
+  EXPECT_EQ(chg, (std::vector<std::size_t>{1, 2, 3}));
+
+  // A null side is skipped.
+  store.delta(0, 2, nullptr, &chg);
+  EXPECT_EQ(chg, (std::vector<std::size_t>{1, 2, 3}));
+}
+
+TEST(TraceStoreDelta, RepeatedViewsYieldEmptyDeltas) {
+  const auto store = tiny_store();
+  for (std::size_t t = 0; t < store.checkpoint_count(); ++t) {
+    std::vector<std::size_t> fin{99}, chg{99};
+    CheckpointView(store, t).delta_since(t, &fin, &chg);
+    EXPECT_TRUE(fin.empty());
+    EXPECT_TRUE(chg.empty());
+  }
+  // The store only streams forward: a backwards delta is a caller bug.
+  std::vector<std::size_t> fin;
+  EXPECT_THROW(store.delta(2, 1, &fin, nullptr), std::invalid_argument);
+}
+
+TEST(TraceStoreDelta, ReplayedDeltasSumToTheFullFinishedSet) {
+  auto c = GoogleLikeGenerator::google_defaults();
+  c.min_tasks = 120;
+  c.max_tasks = 150;
+  GoogleLikeGenerator gen(c);
+  for (const auto& job : gen.generate(3)) {
+    std::vector<std::size_t> accumulated;
+    std::size_t prev = kNoCheckpoint;
+    for (std::size_t t = 0; t < job.checkpoint_count(); ++t) {
+      const auto view = job.checkpoint(t);
+      std::vector<std::size_t> fin;
+      view.delta_since(prev, &fin, nullptr);
+      // Steps are disjoint: nothing newly finished twice.
+      for (const auto task : fin) {
+        EXPECT_EQ(std::find(accumulated.begin(), accumulated.end(), task),
+                  accumulated.end());
+      }
+      accumulated.insert(accumulated.end(), fin.begin(), fin.end());
+      prev = t;
+    }
+    std::sort(accumulated.begin(), accumulated.end());
+    EXPECT_EQ(accumulated,
+              job.trace.finished(job.checkpoint_count() - 1));
+  }
+}
+
+TEST(TraceStoreDelta, ChangedRowsMatchChangeDetectedOverlays) {
+  auto c = GoogleLikeGenerator::google_defaults();
+  c.min_tasks = 100;
+  c.max_tasks = 120;
+  GoogleLikeGenerator gen(c);
+  for (const auto& job : gen.generate(2)) {
+    const auto& store = job.trace;
+    for (std::size_t t = 1; t < store.checkpoint_count(); ++t) {
+      std::vector<std::size_t> chg;
+      store.delta(t - 1, t, nullptr, &chg);
+      // The delta must be EXACTLY the rows whose reconstruction differs
+      // between the two checkpoints — i.e. the stored overlays.
+      std::vector<std::size_t> expect;
+      for (std::size_t i = 0; i < store.task_count(); ++i) {
+        const auto a = store.row(t - 1, i);
+        const auto b = store.row(t, i);
+        if (!std::equal(a.begin(), a.end(), b.begin())) expect.push_back(i);
+      }
+      EXPECT_EQ(chg, expect) << job.id << " checkpoint " << t;
+    }
+  }
 }
 
 }  // namespace
