@@ -93,21 +93,6 @@ double late_quartile_mean(const std::vector<double>& seconds) {
   return sum / static_cast<double>(seconds.size() - from);
 }
 
-std::vector<std::string> split_csv(const std::string& csv) {
-  std::vector<std::string> out;
-  std::size_t start = 0;
-  while (start <= csv.size()) {
-    const auto comma = csv.find(',', start);
-    if (comma == std::string::npos) {
-      out.push_back(csv.substr(start));
-      break;
-    }
-    out.push_back(csv.substr(start, comma - start));
-    start = comma + 1;
-  }
-  return out;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -122,7 +107,7 @@ int main(int argc, char** argv) {
   const bool check = bench::arg_long(argc, argv, "check", 0) != 0;
   const auto which = bench::arg_string(argc, argv, "dataset", "both");
   const auto methods =
-      split_csv(bench::arg_string(argc, argv, "methods",
+      bench::split_csv(bench::arg_string(argc, argv, "methods",
                                   "NURD,NURD-NC,GBTR,Grabit"));
 
   std::vector<bench::Dataset> datasets;

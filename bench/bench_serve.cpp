@@ -1,0 +1,87 @@
+// Serving-layer bench: sustained checkpoints/sec, per-checkpoint decision
+// latency (p50/p99, admission -> flags emitted), and backlog depth while a
+// StreamMonitor multiplexes concurrent jobs over the shared pool.
+//
+//   ./bench_serve                         # NURD, both tuned configs, 1/4/16
+//   ./bench_serve --levels=1,4,16,64      # wider concurrency sweep
+//   ./bench_serve --method=GBTR --rounds=10 --dataset=google   # CI smoke
+//
+// Flags: --levels (comma list of concurrent-job counts), --method (Table-3
+// name), --dataset=google|alibaba|both, --threads (serving lanes, 0 = hw),
+// --rounds (override boosting rounds; 0 keeps the tuned config), --seed.
+// Every level serves each job's FULL checkpoint stream with batch arrivals,
+// so `level` is exactly the number of jobs streaming concurrently.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "serve/stream_monitor.h"
+
+namespace {
+
+std::vector<std::size_t> parse_levels(const std::string& csv) {
+  std::vector<std::size_t> levels;
+  for (const auto& token : nurd::bench::split_csv(csv)) {
+    if (!token.empty()) {
+      levels.push_back(std::strtoul(token.c_str(), nullptr, 10));
+    }
+  }
+  return levels;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace nurd;
+  const auto levels =
+      parse_levels(bench::arg_string(argc, argv, "levels", "1,4,16"));
+  const auto method_name = bench::arg_string(argc, argv, "method", "NURD");
+  const auto dataset = bench::arg_string(argc, argv, "dataset", "both");
+  const auto threads =
+      static_cast<std::size_t>(bench::arg_long(argc, argv, "threads", 0));
+  const auto rounds = bench::arg_long(argc, argv, "rounds", 0);
+  const auto seed =
+      static_cast<std::uint64_t>(bench::arg_long(argc, argv, "seed", 0));
+
+  std::vector<bench::Dataset> datasets;
+  if (dataset != "alibaba") datasets.push_back(bench::Dataset::kGoogle);
+  if (dataset != "google") datasets.push_back(bench::Dataset::kAlibaba);
+
+  std::printf(
+      "bench_serve: %s, RefitPolicy::kIncremental, batch arrivals, "
+      "lanes=%zu (0 = hardware)\n",
+      method_name.c_str(), threads);
+
+  for (const auto ds : datasets) {
+    auto tuned = bench::tuned_config(ds);
+    if (rounds > 0) {
+      tuned.gbt_rounds = static_cast<int>(rounds);
+      tuned.nurd_gbt_rounds = static_cast<int>(rounds);
+    }
+
+    std::printf("\n%s-like traces\n", bench::dataset_name(ds));
+    TextTable table({"jobs", "ckpts", "flags", "ckpt/s", "p50 ms", "p99 ms",
+                     "peak backlog", "wall s"});
+    const auto before = bench::alloc_stats();
+    for (const auto level : levels) {
+      const auto jobs = bench::make_jobs(ds, level, seed);
+      serve::StreamMonitorConfig config;
+      config.threads = threads;
+      serve::StreamMonitor monitor(jobs, method_name, tuned, config);
+      const auto served = monitor.run();
+      const auto& s = served.stats;
+      table.add_row({std::to_string(s.jobs), std::to_string(s.checkpoints),
+                     std::to_string(s.flags),
+                     TextTable::num(s.checkpoints_per_sec, 1),
+                     TextTable::num(s.p50_latency_ms, 2),
+                     TextTable::num(s.p99_latency_ms, 2),
+                     std::to_string(s.peak_backlog),
+                     TextTable::num(s.wall_seconds, 2)});
+    }
+    std::printf("%s", table.render().c_str());
+    bench::print_resource_report("serve", before);
+  }
+  return 0;
+}

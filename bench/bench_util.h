@@ -122,6 +122,23 @@ inline long arg_long(int argc, char** argv, std::string_view name,
   return s.empty() ? fallback : std::strtol(s.c_str(), nullptr, 10);
 }
 
+/// Splits a comma-separated flag value ("--methods=NURD,GBTR",
+/// "--levels=1,4,16") into its tokens.
+inline std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const auto comma = csv.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(csv.substr(start));
+      break;
+    }
+    out.push_back(csv.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
 }  // namespace nurd::bench
 
 // Replaceable global allocation functions (counted). Non-inline by the

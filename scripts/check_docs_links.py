@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Fails on broken intra-repo markdown links (and anchors) in tracked docs.
+
+Scans every *.md file in the repo (skipping build trees) for inline
+markdown links. External links (http/https/mailto) are ignored; every other
+target must resolve to a file or directory relative to the linking file,
+and a `#fragment` on a markdown target must match one of its headings
+(GitHub-style slugs). The CI docs job runs this next to the
+docs_methods_sync ctest so documentation cannot silently rot.
+
+Usage: scripts/check_docs_links.py [repo_root]
+"""
+import os
+import re
+import sys
+
+LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_DIRS = {".git", "build", "build-asan", "node_modules"}
+
+
+def heading_slugs(path):
+    slugs = set()
+    with open(path, encoding="utf-8") as handle:
+        in_code = False
+        for line in handle:
+            if line.lstrip().startswith("```"):
+                in_code = not in_code
+                continue
+            if in_code or not line.startswith("#"):
+                continue
+            text = line.lstrip("#").strip()
+            slug = re.sub(r"[^\w\- ]", "", text.lower())
+            slugs.add(re.sub(r" +", "-", slug).strip("-"))
+    return slugs
+
+
+def check_file(md_path, root):
+    errors = []
+    with open(md_path, encoding="utf-8") as handle:
+        content = handle.read()
+    # Strip fenced code blocks: links inside them are examples, not links.
+    content = re.sub(r"```.*?```", "", content, flags=re.S)
+    for match in LINK.finditer(content):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, fragment = target.partition("#")
+        base = os.path.dirname(md_path)
+        resolved = os.path.normpath(os.path.join(base, path_part)) \
+            if path_part else md_path
+        if not os.path.exists(resolved):
+            errors.append(f"{os.path.relpath(md_path, root)}: broken link "
+                          f"-> {target}")
+            continue
+        if fragment and resolved.endswith(".md"):
+            if fragment.lower() not in heading_slugs(resolved):
+                errors.append(f"{os.path.relpath(md_path, root)}: missing "
+                              f"anchor -> {target}")
+    return errors
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    errors = []
+    checked = 0
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                checked += 1
+                errors.extend(check_file(os.path.join(dirpath, name), root))
+    for error in errors:
+        print(f"ERROR: {error}")
+    print(f"checked {checked} markdown files: "
+          f"{'FAILED' if errors else 'ok'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

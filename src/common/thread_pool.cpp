@@ -123,6 +123,30 @@ void ThreadPool::parallel_for(std::size_t count,
   if (state->error) std::rethrow_exception(state->error);
 }
 
+void ThreadPool::submit(std::function<void()> task) {
+  // The wrapper marks the thread as pool-occupied for the task's duration so
+  // nested parallel_for calls stay serial (see the header: one lane per
+  // submitted task). The flag restore is RAII so an escaping exception still
+  // leaves the lane state clean before it terminates the worker.
+  auto wrapped = [task = std::move(task)] {
+    struct FlagGuard {
+      bool saved = g_in_pool_task;
+      FlagGuard() { g_in_pool_task = true; }
+      ~FlagGuard() { g_in_pool_task = saved; }
+    } guard;
+    task();
+  };
+  if (workers_.empty()) {
+    wrapped();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.emplace_back(std::move(wrapped));
+  }
+  cv_.notify_one();
+}
+
 void ThreadPool::run_indexed(std::size_t count, std::size_t threads,
                              const std::function<void(std::size_t)>& fn) {
   if (threads == 0) {

@@ -1,8 +1,9 @@
 // A small work-stealing-free thread pool built for deterministic data
 // parallelism. The library's two hot fan-outs — per-feature histogram
 // construction inside RegressionTree and per-job evaluation in the harness —
-// are index-parallel loops whose tasks write to disjoint slots, so the only
-// primitive needed is a blocking parallel_for.
+// are index-parallel loops whose tasks write to disjoint slots, so the
+// workhorse primitive is a blocking parallel_for; the serving layer
+// additionally dispatches detached per-job tasks through submit().
 //
 // Determinism contract: parallel_for(count, fn) calls fn(i) exactly once for
 // every i in [0, count). Which thread runs which index is unspecified, but as
@@ -50,6 +51,21 @@ class ThreadPool {
   /// job lanes each containing pool-hungry histogram fits).
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& fn);
+
+  /// Enqueues a detached task for the workers and returns immediately — the
+  /// serving layer's dispatch primitive (completion tracking stays with the
+  /// caller; the StreamMonitor counts in-flight events itself). The task runs
+  /// with the nested-parallelism flag set, so parallel_for calls issued from
+  /// inside it degrade to serial loops: a submitted task owns exactly one
+  /// lane, and multi-job throughput comes from many tasks in flight, not
+  /// from each task fanning out again. On a zero-worker pool the task runs
+  /// inline on the calling thread before submit() returns.
+  ///
+  /// Unlike parallel_for, there is no completion channel, so the task must
+  /// not let exceptions escape — an escaping exception unwinds the worker
+  /// thread and terminates the process. Callers keep their own try/catch
+  /// and completion accounting (see serve::StreamMonitor's drain lanes).
+  void submit(std::function<void()> task);
 
   /// Process-wide shared pool sized to the hardware: hardware_concurrency−1
   /// workers (the caller supplies the remaining lane), so a single-core

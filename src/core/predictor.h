@@ -72,6 +72,24 @@ struct JobContext {
 /// Stateful per-job online predictor. Create one instance per job (via
 /// PredictorFactory); the harness calls initialize() once and then
 /// predict_stragglers() with each checkpoint's view in ascending order.
+///
+/// Thread-safety and ordering contract (relied on by eval::run_method and
+/// serve::StreamMonitor alike):
+///   * an instance is NOT thread-safe — it is confined to one job and
+///     driven by one thread at a time. Concurrency comes from many
+///     instances on many jobs, never from sharing one;
+///   * initialize() happens-before the first predict_stragglers(), and
+///     views arrive strictly in ascending checkpoint order with no gaps —
+///     the serving layer's per-job lanes guarantee checkpoint t+1 never
+///     overtakes t even when refits run as detached pool tasks;
+///   * a driver may hand the instance between threads across checkpoints
+///     (a lane's drain task can run on any pool worker) as long as the
+///     hand-off synchronizes (the lane mutex does), so implementations
+///     must not cache thread-local state across calls;
+///   * predictions must be a deterministic function of the views observed
+///     so far (all randomness from explicit seeds) — this is what makes a
+///     concurrent serving run's flag set bit-identical to the serialized
+///     one.
 class StragglerPredictor {
  public:
   virtual ~StragglerPredictor() = default;
@@ -93,7 +111,10 @@ class StragglerPredictor {
       std::span<const std::size_t> candidates) = 0;
 };
 
-/// Factory producing a fresh predictor per job.
+/// Factory producing a fresh predictor per job. Factories are immutable
+/// after construction and safe to invoke from any thread concurrently (the
+/// harness and the serving layer both call make() from pool lanes); only
+/// the instances they produce are single-threaded.
 using PredictorFactory =
     std::function<std::unique_ptr<StragglerPredictor>()>;
 

@@ -66,7 +66,14 @@ RegistryConfig google_tuned();
 RegistryConfig alibaba_tuned();
 
 /// All 23 methods of Table 3 (supervised, 14 outlier detectors, 2 PU
-/// learners, 3 censored/survival models, Wrangler, NURD-NC, NURD).
+/// learners, 3 censored/survival models, Wrangler, NURD-NC, NURD), in the
+/// paper's row order. docs/METHODS.md documents each row and is kept in
+/// sync by tests/test_docs_methods_sync.cpp.
+///
+/// Thread-safety: the returned factories capture `config` by value and are
+/// safe to invoke concurrently from any thread (the serving layer creates
+/// one predictor per job from pool lanes); the predictor INSTANCES they
+/// produce are per-job and single-threaded — see predictor.h.
 std::vector<NamedPredictor> all_predictors(RegistryConfig config = {});
 
 /// Just NURD and NURD-NC (for quick runs and the ablation bench).

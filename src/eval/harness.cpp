@@ -19,69 +19,79 @@ core::JobContext make_job_context(const trace::Job& job, double tau_stra) {
   return context;
 }
 
-JobRunResult run_job(const trace::Job& job,
-                     core::StragglerPredictor& predictor, double pct) {
+OnlineJobRun::OnlineJobRun(const trace::Job& job,
+                           core::StragglerPredictor& predictor, double pct)
+    : job_(&job), predictor_(&predictor), replay_(job) {
   NURD_CHECK(job.checkpoint_count() > 0, "job has no checkpoints");
-  const auto labels = job.straggler_labels(pct);
-  const double tau_stra = job.straggler_threshold(pct);
-  const std::size_t n = job.task_count();
-  const std::size_t T = job.checkpoint_count();
-
-  JobRunResult result;
-  result.flagged_at.assign(n, kNeverFlagged);
-  result.per_checkpoint.resize(T);
+  labels_ = job.straggler_labels(pct);
+  result_.flagged_at.assign(job.task_count(), kNeverFlagged);
+  result_.per_checkpoint.resize(job.checkpoint_count());
 
   // The predictor sees static metadata only; privileged methods (Wrangler)
   // additionally receive the offline-label capability, explicitly. The
   // capability carries the FIXED p90 labels of Wrangler's published protocol
   // (§6), not the evaluation percentile: scoring a run at pct != 90 must not
   // quietly retrain Wrangler on different privileged labels.
-  core::JobContext context = make_job_context(job, tau_stra);
-  std::optional<core::OfflineSample> offline;
+  core::JobContext context = make_job_context(job, job.straggler_threshold(pct));
   if (predictor.privilege() == core::Privilege::kOfflineLabels) {
-    offline.emplace(pct == 90.0 ? labels : job.straggler_labels(90.0));
-    context.offline = &*offline;
+    offline_.emplace(pct == 90.0 ? labels_ : job.straggler_labels(90.0));
+    context.offline = &*offline_;
   }
   predictor.initialize(context);
+}
 
+std::size_t OnlineJobRun::next_checkpoint() const {
+  NURD_CHECK(replay_.has_next(), "job run already complete");
+  return replay_.next_index();
+}
+
+std::span<const std::size_t> OnlineJobRun::step() {
+  const std::size_t n = job_->task_count();
   // The checkpoint stream arrives through the Replay cursor, whose advance
   // path rebinds one view in place (reusing the partition capacity) — the
   // same forward-only stream a FitSession-backed predictor consumes
   // incrementally.
-  trace::Replay replay(job);
-  std::vector<std::size_t> candidates;
-  for (std::size_t t = 0; t < T; ++t) {
-    replay.advance();
-    const trace::CheckpointView& view = replay.view();
-    // Candidates: running tasks that have not been flagged yet.
-    const auto running = view.running();
-    candidates.clear();
-    candidates.reserve(running.size());
-    for (auto i : running) {
-      if (result.flagged_at[i] == kNeverFlagged) candidates.push_back(i);
-    }
-    const auto flagged = predictor.predict_stragglers(view, candidates);
-    for (auto i : flagged) {
-      NURD_CHECK(i < n, "predictor flagged an invalid task id");
-      NURD_CHECK(result.flagged_at[i] == kNeverFlagged,
-                 "predictor flagged a task twice");
-      result.flagged_at[i] = t;
-    }
-
-    // Cumulative confusion at this checkpoint: every unflagged true
-    // straggler counts as a provisional miss.
-    Confusion& c = result.per_checkpoint[t];
-    for (std::size_t i = 0; i < n; ++i) {
-      const bool flagged_yet = result.flagged_at[i] <= t;
-      if (flagged_yet && labels[i] == 1) ++c.tp;
-      if (flagged_yet && labels[i] == 0) ++c.fp;
-      if (!flagged_yet && labels[i] == 1) ++c.fn;
-      if (!flagged_yet && labels[i] == 0) ++c.tn;
-    }
+  const std::size_t t = replay_.advance();
+  const trace::CheckpointView& view = replay_.view();
+  // Candidates: running tasks that have not been flagged yet.
+  const auto running = view.running();
+  candidates_.clear();
+  candidates_.reserve(running.size());
+  for (auto i : running) {
+    if (result_.flagged_at[i] == kNeverFlagged) candidates_.push_back(i);
+  }
+  newly_flagged_ = predictor_->predict_stragglers(view, candidates_);
+  for (auto i : newly_flagged_) {
+    NURD_CHECK(i < n, "predictor flagged an invalid task id");
+    NURD_CHECK(result_.flagged_at[i] == kNeverFlagged,
+               "predictor flagged a task twice");
+    result_.flagged_at[i] = t;
   }
 
-  result.final = result.per_checkpoint.back();
-  return result;
+  // Cumulative confusion at this checkpoint: every unflagged true
+  // straggler counts as a provisional miss.
+  Confusion& c = result_.per_checkpoint[t];
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool flagged_yet = result_.flagged_at[i] <= t;
+    if (flagged_yet && labels_[i] == 1) ++c.tp;
+    if (flagged_yet && labels_[i] == 0) ++c.fp;
+    if (!flagged_yet && labels_[i] == 1) ++c.fn;
+    if (!flagged_yet && labels_[i] == 0) ++c.tn;
+  }
+  if (!replay_.has_next()) result_.final = result_.per_checkpoint.back();
+  return newly_flagged_;
+}
+
+JobRunResult OnlineJobRun::take_result() {
+  NURD_CHECK(done(), "job run still has checkpoints");
+  return std::move(result_);
+}
+
+JobRunResult run_job(const trace::Job& job,
+                     core::StragglerPredictor& predictor, double pct) {
+  OnlineJobRun run(job, predictor, pct);
+  while (!run.done()) run.step();
+  return run.take_result();
 }
 
 MethodResult evaluate_method(const core::NamedPredictor& method,

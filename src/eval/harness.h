@@ -12,12 +12,15 @@
 
 #include <cstddef>
 #include <limits>
+#include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "core/predictor.h"
 #include "eval/metrics.h"
 #include "trace/job.h"
+#include "trace/replay.h"
 
 namespace nurd::eval {
 
@@ -38,6 +41,53 @@ struct JobRunResult {
 /// privilege. Shared by the parity tests, benches, and examples so every
 /// caller mirrors the harness protocol exactly.
 core::JobContext make_job_context(const trace::Job& job, double tau_stra);
+
+/// The §7.1 protocol, one checkpoint at a time. OnlineJobRun owns exactly
+/// the state run_job used to keep on its stack — the labels, the Replay
+/// cursor, the candidate scratch, the growing flag/confusion record — and
+/// step() advances one checkpoint: candidates are the running tasks not yet
+/// flagged, predict_stragglers decides, flags are recorded permanently, the
+/// cumulative confusion is appended. run_job is a loop over this class, and
+/// the serving layer (serve::StreamMonitor) drives the SAME class from its
+/// event queue — which is what makes serialized serving bit-identical to the
+/// batch harness by construction rather than by parallel maintenance.
+///
+/// Not thread-safe: one OnlineJobRun per (job, predictor instance), stepped
+/// by one thread at a time. Checkpoints advance strictly in order.
+class OnlineJobRun {
+ public:
+  /// Binds to a job and a fresh predictor (both must outlive the run) and
+  /// performs the harness's initialize() protocol, including the privileged
+  /// OfflineSample grant for methods declaring it.
+  OnlineJobRun(const trace::Job& job, core::StragglerPredictor& predictor,
+               double pct = 90.0);
+
+  /// Checkpoints remaining?
+  bool done() const { return !replay_.has_next(); }
+
+  /// Index of the checkpoint the next step() will process.
+  std::size_t next_checkpoint() const;
+
+  /// Processes the next checkpoint and returns the tasks newly flagged at it
+  /// (valid until the next step()).
+  std::span<const std::size_t> step();
+
+  /// The accumulated record; `final` is populated once done().
+  const JobRunResult& result() const { return result_; }
+
+  /// Moves the record out (call once, after done()).
+  JobRunResult take_result();
+
+ private:
+  const trace::Job* job_;
+  core::StragglerPredictor* predictor_;
+  std::vector<int> labels_;
+  std::optional<core::OfflineSample> offline_;
+  trace::Replay replay_;
+  std::vector<std::size_t> candidates_;  ///< reused per-checkpoint scratch
+  std::vector<std::size_t> newly_flagged_;
+  JobRunResult result_;
+};
 
 /// Runs `predictor` over `job` (fresh instance expected) with the straggler
 /// threshold at latency percentile `pct`.

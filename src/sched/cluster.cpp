@@ -29,48 +29,63 @@ struct EventAfter {
 struct TaskState {
   double completion = 0.0;
   double flag_time = 0.0;  ///< absolute; meaningful iff `flagged`
-  double resample = 0.0;   ///< pre-drawn relaunch latency; iff `flagged`
+  double resample = 0.0;   ///< pre-drawn relaunch latency: drawn iff
+                           ///< `flagged` in precomputed mode, for EVERY task
+                           ///< in live mode (flags are unknown up front)
   bool flagged = false;    ///< has a valid (pre-completion) flag
   bool relaunched = false;
   bool done = false;
 };
 
-class ClusterSim {
- public:
-  ClusterSim(std::span<const trace::Job> jobs,
-             std::span<const eval::JobRunResult> runs,
-             const ClusterConfig& config, Rng& rng)
-      : jobs_(jobs), config_(config) {
+}  // namespace
+
+// The event loop. One Impl serves both ClusterEngine modes and
+// simulate_cluster (which constructs a precomputed engine and finishes it
+// immediately); `live_` only changes where flags and their draws come from.
+struct ClusterEngine::Impl {
+  Impl(std::span<const trace::Job> jobs,
+       std::span<const eval::JobRunResult> runs, const ClusterConfig& config,
+       Rng& rng, bool live)
+      : jobs_(jobs), config_(config), live_(live) {
     const std::size_t J = jobs.size();
+    NURD_CHECK(!jobs.empty(), "no jobs");
     result_.jobs.resize(J);
     tasks_.resize(J);
     remaining_.resize(J);
 
     // --- Canonical-order randomness: arrivals first (job input order), then
-    // one relaunch-latency draw per validly flagged task (job input order,
-    // task-id order). Nothing after this touches the RNG, so the stream is
-    // independent of pool sizes and event dynamics.
-    const auto arrivals =
+    // relaunch-latency draws (job input order, task-id order) — one per
+    // VALIDLY flagged task in precomputed mode, one per task in live mode
+    // (flags are unknown up front, and the stream must not depend on them).
+    // Nothing after this touches the RNG, so the stream is independent of
+    // pool sizes, event dynamics, and — live — flag arrival order.
+    arrivals_ =
         config.arrivals ? config.arrivals(J, rng) : batch_arrivals()(J, rng);
-    NURD_CHECK(arrivals.size() == J, "arrival process returned wrong count");
+    NURD_CHECK(arrivals_.size() == J, "arrival process returned wrong count");
 
     for (std::size_t j = 0; j < J; ++j) {
       const trace::Job& job = jobs[j];
-      const auto& flagged_at = runs[j].flagged_at;
-      NURD_CHECK(flagged_at.size() == job.task_count(),
-                 "flag vector length mismatch");
-      NURD_CHECK(arrivals[j] >= 0.0, "negative arrival time");
+      NURD_CHECK(arrivals_[j] >= 0.0, "negative arrival time");
 
       ClusterJobStats& stats = result_.jobs[j];
-      stats.arrival = arrivals[j];
+      stats.arrival = arrivals_[j];
       stats.original_jct = job.completion_time();
       remaining_[j] = job.task_count();
 
+      if (!live_) {
+        NURD_CHECK(runs[j].flagged_at.size() == job.task_count(),
+                   "flag vector length mismatch");
+      }
       auto& tasks = tasks_[j];
       tasks.resize(job.task_count());
       for (std::size_t i = 0; i < job.task_count(); ++i) {
         TaskState& task = tasks[i];
-        task.completion = arrivals[j] + job.latency(i);
+        task.completion = arrivals_[j] + job.latency(i);
+        if (live_) {
+          task.resample = resample_latency(job, rng);
+          continue;
+        }
+        const auto& flagged_at = runs[j].flagged_at;
         if (flagged_at[i] == eval::kNeverFlagged) continue;
         NURD_CHECK(flagged_at[i] < job.checkpoint_count(),
                    "flag checkpoint out of range");
@@ -82,7 +97,7 @@ class ClusterSim {
           continue;
         }
         task.flagged = true;
-        task.flag_time = arrivals[j] + tau;
+        task.flag_time = arrivals_[j] + tau;
         task.resample = resample_latency(job, rng);
       }
     }
@@ -92,18 +107,48 @@ class ClusterSim {
     pool_.free = unlimited_ ? 0 : config.machines;
 
     for (std::size_t j = 0; j < J; ++j) {
-      push(arrivals[j], EventKind::kJobArrival, j, 0);
+      push(arrivals_[j], EventKind::kJobArrival, j, 0);
     }
   }
 
-  ClusterResult run() {
-    while (!queue_.empty()) {
+  void post_flag(std::size_t job, std::size_t task_id, std::size_t cp) {
+    NURD_CHECK(live_, "post_flag requires a live-mode ClusterEngine");
+    NURD_CHECK(!finished_, "engine already finished");
+    NURD_CHECK(job < jobs_.size(), "flag job out of range");
+    const trace::Job& j = jobs_[job];
+    NURD_CHECK(task_id < j.task_count(), "flag task out of range");
+    NURD_CHECK(cp < j.checkpoint_count(), "flag checkpoint out of range");
+    TaskState& task = tasks_[job][task_id];
+    NURD_CHECK(!task.flagged, "task flagged twice");
+    const double tau = j.trace.tau_run(cp);
+    if (tau >= j.latency(task_id)) {
+      ++result_.jobs[job].noop_flags;
+      return;
+    }
+    const double when = arrivals_[job] + tau;
+    NURD_CHECK(when >= watermark_,
+               "flag posted behind the advanced watermark");
+    task.flagged = true;
+    task.flag_time = when;
+    push(when, EventKind::kFlag, job, task_id);
+  }
+
+  void advance_to(double watermark) {
+    NURD_CHECK(!finished_, "engine already finished");
+    watermark_ = std::max(watermark_, watermark);
+    while (!queue_.empty() && queue_.top().time < watermark_) {
       const Event event = queue_.top();
       queue_.pop();
       if (!process(event)) continue;  // stale
       ++result_.events;
       if (config_.observer) config_.observer(event, pool_);
     }
+  }
+
+  ClusterResult finish() {
+    NURD_CHECK(!finished_, "engine already finished");
+    advance_to(std::numeric_limits<double>::infinity());
+    finished_ = true;
     for (const auto& stats : result_.jobs) {
       result_.makespan = std::max(result_.makespan, stats.completion);
       result_.relaunched += stats.relaunched;
@@ -113,7 +158,6 @@ class ClusterSim {
     return std::move(result_);
   }
 
- private:
   void push(double time, EventKind kind, std::size_t job, std::size_t task) {
     queue_.push(Event{time, kind, static_cast<std::uint32_t>(job),
                       static_cast<std::uint32_t>(task), seq_++});
@@ -148,7 +192,10 @@ class ClusterSim {
         const auto& tasks = tasks_[e.job];
         for (std::size_t i = 0; i < job.task_count(); ++i) {
           push(tasks[i].completion, EventKind::kTaskFinish, e.job, i);
-          if (tasks[i].flagged) {
+          // Live mode: post_flag enqueues each kFlag itself (a flag may be
+          // posted before OR after its job's arrival is processed, so the
+          // arrival handler re-pushing flagged tasks would duplicate them).
+          if (!live_ && tasks[i].flagged) {
             push(tasks[i].flag_time, EventKind::kFlag, e.job, i);
           }
         }
@@ -226,7 +273,11 @@ class ClusterSim {
 
   std::span<const trace::Job> jobs_;
   const ClusterConfig& config_;
+  bool live_ = false;
   bool unlimited_ = false;
+  bool finished_ = false;
+  double watermark_ = 0.0;  ///< highest advance_to() bound reached
+  std::vector<double> arrivals_;
 
   std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
   std::uint64_t seq_ = 0;
@@ -237,11 +288,46 @@ class ClusterSim {
   ClusterResult result_;
 };
 
-}  // namespace
+ClusterEngine::ClusterEngine(std::span<const trace::Job> jobs,
+                             std::span<const eval::JobRunResult> runs,
+                             const ClusterConfig& config, Rng& rng) {
+  NURD_CHECK(jobs.size() == runs.size(), "jobs/runs length mismatch");
+  impl_ = std::make_unique<Impl>(jobs, runs, config, rng, /*live=*/false);
+}
+
+ClusterEngine::ClusterEngine(std::span<const trace::Job> jobs,
+                             const ClusterConfig& config, Rng& rng)
+    : impl_(std::make_unique<Impl>(jobs, std::span<const eval::JobRunResult>{},
+                                   config, rng, /*live=*/true)) {}
+
+ClusterEngine::~ClusterEngine() = default;
+
+std::span<const double> ClusterEngine::arrivals() const {
+  return impl_->arrivals_;
+}
+
+void ClusterEngine::post_flag(std::size_t job, std::size_t task,
+                              std::size_t cp) {
+  impl_->post_flag(job, task, cp);
+}
+
+void ClusterEngine::advance_to(double watermark) {
+  impl_->advance_to(watermark);
+}
+
+ClusterResult ClusterEngine::finish() { return impl_->finish(); }
 
 ArrivalProcess batch_arrivals() {
   return [](std::size_t job_count, Rng&) {
     return std::vector<double>(job_count, 0.0);
+  };
+}
+
+ArrivalProcess fixed_arrivals(std::vector<double> times) {
+  return [times = std::move(times)](std::size_t job_count, Rng&) {
+    NURD_CHECK(times.size() == job_count,
+               "fixed_arrivals size does not match the job count");
+    return times;
   };
 }
 
@@ -268,9 +354,7 @@ double ClusterResult::mean_reduction_pct() const {
 ClusterResult simulate_cluster(std::span<const trace::Job> jobs,
                                std::span<const eval::JobRunResult> runs,
                                const ClusterConfig& config, Rng& rng) {
-  NURD_CHECK(jobs.size() == runs.size(), "jobs/runs length mismatch");
-  NURD_CHECK(!jobs.empty(), "no jobs");
-  return ClusterSim(jobs, runs, config, rng).run();
+  return ClusterEngine(jobs, runs, config, rng).finish();
 }
 
 std::vector<ClusterResult> simulate_cluster_replicated(

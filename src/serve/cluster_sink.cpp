@@ -1,0 +1,45 @@
+#include "serve/cluster_sink.h"
+
+#include <utility>
+#include <vector>
+
+namespace nurd::serve {
+
+namespace {
+
+sched::ClusterConfig with_monitor_arrivals(sched::ClusterConfig config,
+                                           const StreamMonitor& monitor) {
+  const auto times = monitor.arrivals();
+  config.arrivals =
+      sched::fixed_arrivals(std::vector<double>(times.begin(), times.end()));
+  return config;
+}
+
+}  // namespace
+
+LiveClusterFeed::LiveClusterFeed(std::span<const trace::Job> jobs,
+                                 sched::ClusterConfig config,
+                                 const StreamMonitor& monitor,
+                                 std::uint64_t seed)
+    : monitor_(&monitor),
+      config_(with_monitor_arrivals(std::move(config), monitor)),
+      rng_(seed),
+      engine_(jobs, config_, rng_) {}
+
+FlagSink LiveClusterFeed::sink() {
+  return [this](const FlagDecision& flag) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    engine_.post_flag(flag.job, flag.task, flag.checkpoint);
+    // Safe to advance: the monitor's watermark still covers this flag's
+    // event (its time leaves the in-flight set only after the sink returns),
+    // and the engine stops strictly below the bound.
+    engine_.advance_to(monitor_->low_watermark());
+  };
+}
+
+sched::ClusterResult LiveClusterFeed::finish() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return engine_.finish();
+}
+
+}  // namespace nurd::serve

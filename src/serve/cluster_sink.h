@@ -1,0 +1,60 @@
+// The serving layer → cluster simulator bridge. LiveClusterFeed is a
+// FlagSink that forwards every StreamMonitor decision into a live-mode
+// sched::ClusterEngine the moment it is emitted, then advances the cluster
+// behind the stream's low watermark — relaunch decisions are driven by the
+// predictors AS THEY RUN instead of from a precomputed flag table
+// (eval::run_method → simulate_cluster, the batch path the benches used
+// until now).
+//
+// Correctness rests on two ordering facts:
+//   * the monitor's low_watermark() only passes an event time once that
+//     event's flags have been delivered to the sink, and the engine only
+//     processes events strictly BELOW the watermark — so a flag can never
+//     arrive behind cluster time;
+//   * the live engine's RNG stream is drawn entirely at construction
+//     (arrivals, then one relaunch latency per task), so the simulation
+//     outcome is a deterministic function of (jobs, arrivals, flag set) —
+//     identical at any serving thread count, whatever order flags arrive in.
+//
+// Thread-safety: the sink and finish() serialize on an internal mutex; one
+// feed serves one StreamMonitor run.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+
+#include "common/rng.h"
+#include "sched/cluster.h"
+#include "serve/stream_monitor.h"
+
+namespace nurd::serve {
+
+class LiveClusterFeed {
+ public:
+  /// Binds a live cluster to `monitor`'s job set and arrival schedule:
+  /// `config.arrivals` is replaced by sched::fixed_arrivals(
+  /// monitor.arrivals()) so both sides simulate the same timeline. `jobs`
+  /// must be the monitor's job span (and outlive the feed); `seed` drives
+  /// the per-task relaunch-latency draws.
+  LiveClusterFeed(std::span<const trace::Job> jobs,
+                  sched::ClusterConfig config, const StreamMonitor& monitor,
+                  std::uint64_t seed);
+
+  /// The FlagSink to place in StreamMonitorConfig::sink. Each call posts the
+  /// flag and advances the engine to the monitor's current low watermark.
+  FlagSink sink();
+
+  /// Drains the cluster past the last event and returns the result. Call
+  /// once, after StreamMonitor::run() returns.
+  sched::ClusterResult finish();
+
+ private:
+  const StreamMonitor* monitor_;
+  sched::ClusterConfig config_;  ///< owns the fixed-arrivals override
+  Rng rng_;
+  std::mutex mutex_;
+  sched::ClusterEngine engine_;  ///< guarded by mutex_
+};
+
+}  // namespace nurd::serve

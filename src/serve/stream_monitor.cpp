@@ -1,0 +1,312 @@
+#include "serve/stream_monitor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <tuple>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+
+namespace nurd::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double percentile_ms(std::vector<double>& sorted_seconds, double q) {
+  if (sorted_seconds.empty()) return 0.0;
+  const auto n = sorted_seconds.size();
+  auto idx = static_cast<std::size_t>(q * static_cast<double>(n));
+  if (idx >= n) idx = n - 1;
+  return sorted_seconds[idx] * 1e3;
+}
+
+}  // namespace
+
+struct StreamMonitor::Impl {
+  // One ingestion-queue entry: checkpoint `checkpoint` of job `job` becomes
+  // observable at absolute time `time` (= arrival + τrun).
+  struct IngestEvent {
+    double time = 0.0;
+    std::uint32_t job = 0;
+    std::uint32_t checkpoint = 0;
+  };
+
+  // A job's serial lane: its managed predictor session plus the admitted
+  // events waiting for it. `scheduled` is the per-job ordering guarantee —
+  // at most one pool task drains a lane at a time, so checkpoint t+1 can
+  // never overtake t.
+  struct Admitted {
+    double time = 0.0;
+    std::uint32_t checkpoint = 0;
+    Clock::time_point admitted_at;
+  };
+  struct Lane {
+    std::unique_ptr<core::StragglerPredictor> predictor;
+    std::optional<eval::OnlineJobRun> run;
+    std::deque<Admitted> pending;
+    bool scheduled = false;
+  };
+
+  Impl(std::span<const trace::Job> jobs, core::NamedPredictor method,
+       StreamMonitorConfig config)
+      : jobs_(jobs), method_(std::move(method)), config_(std::move(config)) {
+    NURD_CHECK(!jobs.empty(), "no jobs to serve");
+    NURD_CHECK(method_.make != nullptr, "method has no factory");
+
+    // Arrival offsets are drawn once, up front, from their own seed — the
+    // ingestion schedule is a function of (jobs, arrival process, seed)
+    // only, never of serving dynamics.
+    Rng rng(config_.arrival_seed);
+    const auto arrivals = config_.arrivals
+                              ? config_.arrivals(jobs.size(), rng)
+                              : sched::batch_arrivals()(jobs.size(), rng);
+    NURD_CHECK(arrivals.size() == jobs.size(),
+               "arrival process returned wrong count");
+    arrivals_ = arrivals;
+
+    // The merged ingestion queue: every (job, checkpoint) event, ascending
+    // (time, job, checkpoint). Within one job τrun is strictly increasing,
+    // so the global order preserves each job's checkpoint order.
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      NURD_CHECK(arrivals_[j] >= 0.0, "negative arrival time");
+      for (std::size_t t = 0; t < jobs[j].checkpoint_count(); ++t) {
+        events_.push_back({arrivals_[j] + jobs[j].trace.tau_run(t),
+                           static_cast<std::uint32_t>(j),
+                           static_cast<std::uint32_t>(t)});
+      }
+    }
+    std::sort(events_.begin(), events_.end(),
+              [](const IngestEvent& a, const IngestEvent& b) {
+                return std::tie(a.time, a.job, a.checkpoint) <
+                       std::tie(b.time, b.job, b.checkpoint);
+              });
+    next_ingest_time_ =
+        events_.empty() ? std::numeric_limits<double>::infinity()
+                        : events_.front().time;
+  }
+
+  double low_watermark() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inflight_times_.empty() ? next_ingest_time_
+                                   : *inflight_times_.begin();
+  }
+
+  // Admits `ev` into its lane (caller holds no locks) and, when the lane is
+  // idle, starts a drain: submitted to `pool`, or run inline right here when
+  // serialized (pool == nullptr).
+  void admit(const IngestEvent& ev, ThreadPool* pool) {
+    bool schedule = false;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] {
+        return inflight_ < cap_ || error_ != nullptr;
+      });
+      if (error_) return;  // stop admitting; run() rethrows after the drain
+      Lane& lane = lanes_[ev.job];
+      lane.pending.push_back({ev.time, ev.checkpoint, Clock::now()});
+      ++inflight_;
+      inflight_times_.insert(ev.time);
+      peak_backlog_ = std::max(peak_backlog_, inflight_);
+      ++next_event_;
+      next_ingest_time_ = next_event_ < events_.size()
+                              ? events_[next_event_].time
+                              : std::numeric_limits<double>::infinity();
+      if (!lane.scheduled) {
+        lane.scheduled = true;
+        schedule = true;
+      }
+    }
+    if (!schedule) return;
+    if (pool) {
+      pool->submit([this, job = ev.job] { drain_lane(job); });
+    } else {
+      drain_lane(ev.job);
+    }
+  }
+
+  // Drains one job's lane: processes admitted checkpoints strictly in order
+  // until the lane empties. The sink runs OUTSIDE the monitor mutex and
+  // BEFORE the event's time leaves the in-flight set, so low_watermark()
+  // cannot pass a flag that is still being delivered.
+  void drain_lane(std::size_t job) {
+    Lane& lane = lanes_[job];
+    for (;;) {
+      Admitted ev;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (lane.pending.empty() || error_) {
+          lane.scheduled = false;
+          if (error_) abandon_lane_locked(lane);
+          return;
+        }
+        ev = lane.pending.front();
+        lane.pending.pop_front();
+      }
+
+      std::size_t emitted = 0;
+      try {
+        NURD_CHECK(lane.run->next_checkpoint() == ev.checkpoint,
+                   "lane processed a checkpoint out of order");
+        const auto flagged = lane.run->step();
+        emitted = flagged.size();
+        if (config_.sink) {
+          for (auto task : flagged) {
+            config_.sink({job, task, ev.checkpoint, ev.time});
+          }
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!error_) error_ = std::current_exception();
+        retire_locked(ev.time);
+        lane.scheduled = false;
+        abandon_lane_locked(lane);
+        return;
+      }
+
+      const double latency =
+          std::chrono::duration<double>(Clock::now() - ev.admitted_at)
+              .count();
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        latencies_.push_back(latency);
+        flags_ += emitted;
+        ++processed_;
+        retire_locked(ev.time);
+      }
+    }
+  }
+
+  // Both _locked helpers require mutex_ held.
+  void retire_locked(double time) {
+    --inflight_;
+    inflight_times_.erase(inflight_times_.find(time));
+    cv_.notify_all();
+  }
+
+  // A failed lane abandons its backlog so run()'s in-flight count can still
+  // drain to zero (the first error is what gets rethrown).
+  void abandon_lane_locked(Lane& lane) {
+    for (const auto& dropped : lane.pending) retire_locked(dropped.time);
+    lane.pending.clear();
+  }
+
+  ServeResult run() {
+    NURD_CHECK(!ran_, "StreamMonitor::run() called twice");
+    ran_ = true;
+
+    const unsigned hw = std::thread::hardware_concurrency();
+    const std::size_t lanes =
+        config_.threads == 0 ? std::max(1u, hw) : config_.threads;
+    cap_ = config_.max_inflight == 0 ? 4 * lanes : config_.max_inflight;
+
+    // Managed sessions: one fresh predictor + one OnlineJobRun per job. The
+    // stepper is the run_job protocol itself, so serialized serving is
+    // bit-identical to the batch harness by construction.
+    lanes_.resize(jobs_.size());
+    for (std::size_t j = 0; j < jobs_.size(); ++j) {
+      lanes_[j].predictor = method_.make();
+      lanes_[j].run.emplace(jobs_[j], *lanes_[j].predictor, config_.pct);
+    }
+
+    // Serialized (threads == 1): no pool — each event is admitted and its
+    // lane drained inline, in global event-time order. Concurrent: a private
+    // pool of `lanes` workers runs the drains; this thread only admits.
+    std::optional<ThreadPool> pool;
+    if (lanes > 1) pool.emplace(lanes);
+
+    const auto start = Clock::now();
+    for (const IngestEvent& ev : events_) {
+      admit(ev, pool ? &*pool : nullptr);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (error_) break;
+      }
+    }
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] { return inflight_ == 0; });
+      if (error_) std::rethrow_exception(error_);
+    }
+    const double wall =
+        std::chrono::duration<double>(Clock::now() - start).count();
+
+    ServeResult result;
+    result.runs.reserve(jobs_.size());
+    for (auto& lane : lanes_) result.runs.push_back(lane.run->take_result());
+
+    ServeStats& s = result.stats;
+    s.jobs = jobs_.size();
+    s.checkpoints = processed_;
+    s.flags = flags_;
+    s.lanes = lanes;
+    s.peak_backlog = peak_backlog_;
+    s.wall_seconds = wall;
+    s.checkpoints_per_sec =
+        wall > 0.0 ? static_cast<double>(processed_) / wall : 0.0;
+    std::sort(latencies_.begin(), latencies_.end());
+    s.p50_latency_ms = percentile_ms(latencies_, 0.50);
+    s.p99_latency_ms = percentile_ms(latencies_, 0.99);
+    return result;
+  }
+
+  std::span<const trace::Job> jobs_;
+  core::NamedPredictor method_;
+  StreamMonitorConfig config_;
+  std::vector<double> arrivals_;
+  std::vector<IngestEvent> events_;  ///< ascending (time, job, checkpoint)
+  std::vector<Lane> lanes_;
+  bool ran_ = false;
+  std::size_t cap_ = 1;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t inflight_ = 0;
+  std::multiset<double> inflight_times_;  ///< admitted, not yet processed
+  std::size_t next_event_ = 0;            ///< next events_ index to admit
+  double next_ingest_time_ = 0.0;
+  std::size_t peak_backlog_ = 0;
+  std::size_t processed_ = 0;
+  std::size_t flags_ = 0;
+  std::vector<double> latencies_;  ///< seconds, unsorted until run() ends
+  std::exception_ptr error_;
+};
+
+StreamMonitor::StreamMonitor(std::span<const trace::Job> jobs,
+                             core::NamedPredictor method,
+                             StreamMonitorConfig config)
+    : impl_(std::make_unique<Impl>(jobs, std::move(method),
+                                   std::move(config))) {}
+
+StreamMonitor::StreamMonitor(std::span<const trace::Job> jobs,
+                             const std::string& method,
+                             core::RegistryConfig registry,
+                             StreamMonitorConfig config) {
+  registry.refit = config.refit;
+  impl_ = std::make_unique<Impl>(
+      jobs, core::predictor_by_name(method, registry), std::move(config));
+}
+
+StreamMonitor::~StreamMonitor() = default;
+
+std::span<const double> StreamMonitor::arrivals() const {
+  return impl_->arrivals_;
+}
+
+void StreamMonitor::set_sink(FlagSink sink) {
+  NURD_CHECK(!impl_->ran_, "set_sink after run()");
+  impl_->config_.sink = std::move(sink);
+}
+
+double StreamMonitor::low_watermark() const { return impl_->low_watermark(); }
+
+ServeResult StreamMonitor::run() { return impl_->run(); }
+
+}  // namespace nurd::serve

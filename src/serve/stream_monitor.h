@@ -1,0 +1,165 @@
+// The concurrent serving layer: many jobs' checkpoint streams multiplexed
+// over one shared ThreadPool.
+//
+// The batch harness (eval::run_method) owns whole jobs end-to-end — fine for
+// reproducing Table 3, but nothing like the regime the paper's Algorithm 1
+// is written for, where a monitor watches MANY jobs stream checkpoints
+// concurrently against shared compute. StreamMonitor is that serving loop:
+//
+//   * every job gets a managed predictor session — a fresh registry
+//     predictor plus an eval::OnlineJobRun stepper (the exact per-checkpoint
+//     protocol run_job uses, shared code, not a copy) — created with
+//     RefitPolicy::kIncremental by default, because a serving session
+//     maintains its models between checkpoints rather than rebuilding them;
+//   * checkpoint events arrive interleaved across jobs through a
+//     Replay-backed ingestion queue: each job's arrival offset comes from a
+//     pluggable sched::ArrivalProcess (batch or Poisson, exactly the cluster
+//     simulator's processes), each checkpoint's event time is
+//     arrival + τrun, and the merged queue is admitted in ascending event
+//     time under a bounded in-flight window;
+//   * refits dispatch as detached pool tasks with a PER-JOB ORDERING
+//     GUARANTEE: a job's checkpoint t+1 never overtakes t (each job is a
+//     serial lane drained by at most one pool task at a time), while
+//     different jobs proceed independently across lanes;
+//   * every flag decision is pushed to a caller-provided FlagSink the moment
+//     the predictor emits it — serve::LiveClusterFeed forwards them into the
+//     event-driven cluster simulator so predictions drive relaunch decisions
+//     live.
+//
+// Determinism contract (tests/test_stream_monitor.cpp pins all three):
+//   * threads == 1 serializes the whole loop on the calling thread in global
+//     event-time order; the emitted flags and per-job records are
+//     BIT-IDENTICAL to eval::run_method over the same jobs — serving is the
+//     batch harness re-scheduled, never a second implementation;
+//   * any thread count produces bit-identical per-job records (each lane's
+//     computation depends only on its own stream; every parallel loop below
+//     a lane honors the ThreadPool determinism contract), so the flag SET is
+//     identical at 1, 4, or 16 lanes — only sink emission ORDER varies;
+//   * the wall-clock stats (latency percentiles, backlog, throughput) are of
+//     course run-dependent; everything else is reproducible from the seeds.
+//
+// Thread-safety: a StreamMonitor instance is driven by one caller thread
+// (construct, run(), collect). The FlagSink is the one callback that crosses
+// lanes: calls for a single job arrive in checkpoint order, calls for
+// different jobs arrive concurrently — the sink synchronizes internally.
+// low_watermark() is safe from any thread (sinks query it mid-run).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/predictor.h"
+#include "core/registry.h"
+#include "eval/harness.h"
+#include "sched/cluster.h"
+#include "trace/job.h"
+
+namespace nurd::serve {
+
+/// One flag decision, as handed to the sink at emission time.
+struct FlagDecision {
+  std::size_t job = 0;         ///< job input index
+  std::size_t task = 0;        ///< task id within the job
+  std::size_t checkpoint = 0;  ///< checkpoint the predictor flagged at
+  double time = 0.0;           ///< simulated event time: arrival + τrun(cp)
+};
+
+/// Flag sink. Invoked from pool lanes while run() is in progress: calls for
+/// one job arrive in checkpoint order; calls for different jobs may be
+/// concurrent — implementations synchronize (see serve::LiveClusterFeed).
+using FlagSink = std::function<void(const FlagDecision&)>;
+
+struct StreamMonitorConfig {
+  /// Straggler percentile (the harness's pct parameter).
+  double pct = 90.0;
+  /// Serving lanes: 1 (default) = fully serialized on the calling thread in
+  /// global event order — the bit-parity reference; 0 = hardware
+  /// concurrency; N = a pool of N lanes.
+  std::size_t threads = 1;
+  /// Admission bound: at most this many checkpoint events in flight
+  /// (admitted to lanes, not yet processed). 0 = 4 lanes' worth. Backlog and
+  /// decision latency are measured against this window.
+  std::size_t max_inflight = 0;
+  /// Per-job arrival offsets (null = sched::batch_arrivals(), everything at
+  /// t = 0). Drawn once at construction from `arrival_seed`.
+  sched::ArrivalProcess arrivals;
+  std::uint64_t arrival_seed = 0;
+  /// Flag sink (may be null). Sinks that need the monitor itself — like
+  /// LiveClusterFeed, which queries low_watermark() — are installed after
+  /// construction via StreamMonitor::set_sink instead.
+  FlagSink sink;
+  /// Refit policy applied by the name-based constructor (serving default:
+  /// incremental — a session maintains its models, it does not rebuild them).
+  core::RefitPolicy refit = core::RefitPolicy::kIncremental;
+};
+
+/// Wall-clock serving statistics for one run().
+struct ServeStats {
+  std::size_t jobs = 0;
+  std::size_t checkpoints = 0;  ///< events processed
+  std::size_t flags = 0;        ///< decisions emitted
+  std::size_t lanes = 0;        ///< executor lanes used
+  std::size_t peak_backlog = 0;  ///< max events in flight at once
+  double wall_seconds = 0.0;
+  double checkpoints_per_sec = 0.0;
+  /// Decision latency: admission of a checkpoint event to its flags being
+  /// emitted (queue wait + refit + predict), per event.
+  double p50_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+};
+
+/// Outcome of one serving run.
+struct ServeResult {
+  /// Per-job records in job input order — bit-identical to
+  /// eval::run_method(method, jobs, pct) at any thread count.
+  std::vector<eval::JobRunResult> runs;
+  ServeStats stats;
+};
+
+class StreamMonitor {
+ public:
+  /// Serves `jobs` with one fresh `method` predictor per job. The jobs (and
+  /// any sink state) must outlive the monitor.
+  StreamMonitor(std::span<const trace::Job> jobs,
+                core::NamedPredictor method, StreamMonitorConfig config = {});
+
+  /// Registry convenience: looks up `method` with `registry.refit` forced to
+  /// `config.refit` (kIncremental unless overridden — the serving default).
+  StreamMonitor(std::span<const trace::Job> jobs, const std::string& method,
+                core::RegistryConfig registry,
+                StreamMonitorConfig config = {});
+
+  ~StreamMonitor();
+  StreamMonitor(const StreamMonitor&) = delete;
+  StreamMonitor& operator=(const StreamMonitor&) = delete;
+
+  /// Absolute arrival offset per job, as drawn at construction — hand these
+  /// to sched::fixed_arrivals so a live cluster replays the same times.
+  std::span<const double> arrivals() const;
+
+  /// Installs (or replaces) the flag sink. Must be called before run();
+  /// exists because a sink like LiveClusterFeed is constructed FROM the
+  /// monitor (it replays the monitor's arrival schedule), so it cannot be in
+  /// the config yet.
+  void set_sink(FlagSink sink);
+
+  /// Stream low watermark: every checkpoint event with time strictly below
+  /// it has been fully processed (its flags emitted). Callable from sinks
+  /// mid-run; this is the bound LiveClusterFeed advances the cluster engine
+  /// to.
+  double low_watermark() const;
+
+  /// Serves every checkpoint of every job. Call once.
+  ServeResult run();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace nurd::serve

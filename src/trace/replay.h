@@ -26,6 +26,11 @@ class Replay {
   /// Advances to the next checkpoint and returns its index.
   std::size_t advance();
 
+  /// Index the next advance() will yield (== checkpoint_count() when
+  /// exhausted). Valid before the first advance(), unlike current_index() —
+  /// the serving layer timestamps a job's next checkpoint event with it.
+  std::size_t next_index() const { return next_; }
+
   /// Index of the current checkpoint (throws before the first advance()).
   std::size_t current_index() const;
 

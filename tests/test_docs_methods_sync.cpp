@@ -1,0 +1,86 @@
+// Keeps docs/METHODS.md honest: its method table must list exactly the
+// registry's Table-3 names, in registry order, and the same inventory that
+// predictor_by_name prints when given an unknown name. The CI docs job runs
+// this as `ctest -R docs_methods_sync`, so renaming or adding a method
+// without updating the docs fails the build rather than silently drifting.
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+
+namespace nurd::core {
+namespace {
+
+#ifndef NURD_SOURCE_DIR
+#error "NURD_SOURCE_DIR must point at the repo root (set by CMakeLists.txt)"
+#endif
+
+// First `backticked` token of every table body row in the file (the name
+// column of docs/METHODS.md; header and separator rows have none).
+std::vector<std::string> documented_methods(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::vector<std::string> names;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("| `", 0) != 0) continue;
+    const auto start = line.find('`') + 1;
+    const auto end = line.find('`', start);
+    if (end == std::string::npos) continue;
+    names.push_back(line.substr(start, end - start));
+  }
+  return names;
+}
+
+std::vector<std::string> registry_methods() {
+  std::vector<std::string> names;
+  for (const auto& method : all_predictors()) names.push_back(method.name);
+  return names;
+}
+
+// The valid-name inventory predictor_by_name reports on a typo'd lookup.
+std::vector<std::string> error_listing_methods() {
+  std::string message;
+  try {
+    predictor_by_name("__not_a_method__");
+  } catch (const std::invalid_argument& error) {
+    message = error.what();
+  }
+  const auto colon = message.rfind(": ");
+  EXPECT_NE(colon, std::string::npos) << "unexpected error format";
+  std::stringstream list(message.substr(colon + 2));
+  std::vector<std::string> names;
+  std::string name;
+  while (std::getline(list, name, ',')) {
+    if (!name.empty() && name.front() == ' ') name.erase(0, 1);
+    names.push_back(name);
+  }
+  return names;
+}
+
+TEST(DocsMethodsSync, TableMatchesRegistryOrderExactly) {
+  const auto documented =
+      documented_methods(std::string(NURD_SOURCE_DIR) + "/docs/METHODS.md");
+  const auto registry = registry_methods();
+  EXPECT_EQ(documented, registry)
+      << "docs/METHODS.md has drifted from core::all_predictors()";
+}
+
+TEST(DocsMethodsSync, TableMatchesTheLookupErrorListing) {
+  const auto documented =
+      documented_methods(std::string(NURD_SOURCE_DIR) + "/docs/METHODS.md");
+  EXPECT_EQ(documented, error_listing_methods())
+      << "docs/METHODS.md disagrees with predictor_by_name's inventory";
+}
+
+TEST(DocsMethodsSync, RegistryHasAll23Table3Rows) {
+  EXPECT_EQ(registry_methods().size(), 23u);
+}
+
+}  // namespace
+}  // namespace nurd::core
