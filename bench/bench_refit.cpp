@@ -5,6 +5,11 @@
 //   $ ./bench_refit [--jobs=16] [--dataset=google|alibaba|both]
 //                   [--min-tasks=100] [--max-tasks=400] [--checkpoints=10]
 //                   [--methods=NURD,NURD-NC,GBTR,Grabit] [--check=0]
+//                   [--backend=reference|avx2|auto]
+//
+// --backend pins the kernel-dispatch backend every refit runs under
+// (default: the library's env-resolved default); the active backend is
+// named in the output header so timings are attributable.
 //
 // Defaults mirror the Table-3 evaluation protocol (the regime every warm
 // knob is tuned against); --min-tasks/--max-tasks/--checkpoints scale the
@@ -32,6 +37,7 @@
 #include "core/predictor.h"
 #include "core/registry.h"
 #include "eval/harness.h"
+#include "kernel/kernel.h"
 
 namespace {
 
@@ -106,6 +112,18 @@ int main(int argc, char** argv) {
       bench::arg_long(argc, argv, "checkpoints", 10));
   const bool check = bench::arg_long(argc, argv, "check", 0) != 0;
   const auto which = bench::arg_string(argc, argv, "dataset", "both");
+  const auto backend = bench::arg_string(argc, argv, "backend", "");
+  if (backend == "reference") {
+    kernel::set_backend(kernel::Backend::kReference);
+  } else if (backend == "avx2") {
+    kernel::set_backend(kernel::Backend::kAvx2);
+  } else if (backend == "auto") {
+    kernel::set_backend(kernel::best_available());
+  } else if (!backend.empty()) {
+    std::fprintf(stderr, "unknown --backend=%s (reference|avx2|auto)\n",
+                 backend.c_str());
+    return 2;
+  }
   const auto methods =
       bench::split_csv(bench::arg_string(argc, argv, "methods",
                                   "NURD,NURD-NC,GBTR,Grabit"));
@@ -140,8 +158,9 @@ int main(int argc, char** argv) {
     auto incremental_config = full_config;
     incremental_config.refit = core::RefitPolicy::kIncremental;
 
-    std::printf("=== bench_refit — %s (%zu jobs) ===\n",
-                bench::dataset_name(dataset), jobs.size());
+    std::printf("=== bench_refit — %s (%zu jobs, kernel backend: %s) ===\n",
+                bench::dataset_name(dataset), jobs.size(),
+                kernel::backend_name());
     for (const auto& name : methods) {
       const auto alloc_before = bench::alloc_stats();
       const auto full =

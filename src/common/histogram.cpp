@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <sstream>
 
 #include "common/check.h"
 #include "common/matrix.h"
 #include "common/stats.h"
+#include "kernel/kernel.h"
 
 namespace nurd {
 
@@ -24,7 +26,15 @@ void Histogram::init(const Range& values, std::size_t bins) {
   }
   counts_.assign(bins, 0);
   width_ = (hi_ - lo_) / static_cast<double>(bins);
-  for (double v : values) ++counts_[bin_of(v)];
+  // Batched binning: gather the (possibly strided) range into contiguous
+  // scratch, one kernel bin_index call over the whole block, then count.
+  // kernel::bin_index implements exactly bin_of's clamp-and-truncate, so
+  // build-time and query-time binning still cannot diverge.
+  std::vector<double> scratch(values.begin(), values.end());
+  std::vector<std::uint32_t> idx(scratch.size());
+  kernel::ops().bin_index(scratch.data(), scratch.size(), lo_, hi_, width_,
+                          counts_.size(), idx.data());
+  for (const auto b : idx) ++counts_[b];
 }
 
 Histogram::Histogram(std::span<const double> values, std::size_t bins) {

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "kernel/kernel.h"
 
 namespace nurd {
 
@@ -59,16 +60,21 @@ KMeansResult kmeans(const Matrix& points, const KMeansParams& params,
   result.labels.assign(n, 0);
   double prev_inertia = std::numeric_limits<double>::max();
 
+  const auto& kops = kernel::ops();
+  std::vector<double> dists(k_eff);
   for (int it = 0; it < params.max_iterations; ++it) {
-    // Assignment step.
+    // Assignment step: one batched point-vs-all-centroids kernel call per
+    // point, then a first-occurrence argmin scan (strict < keeps the seed's
+    // tie-breaking toward the lower centroid index).
     double inertia = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
+      kops.squared_l2_rows(centroids.flat().data(), k_eff, d,
+                           points.row(i).data(), dists.data());
       double best = std::numeric_limits<double>::max();
       std::size_t best_c = 0;
       for (std::size_t c = 0; c < k_eff; ++c) {
-        const double dist = squared_distance(points.row(i), centroids.row(c));
-        if (dist < best) {
-          best = dist;
+        if (dists[c] < best) {
+          best = dists[c];
           best_c = c;
         }
       }

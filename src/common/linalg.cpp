@@ -5,17 +5,20 @@
 #include <numeric>
 
 #include "common/check.h"
+#include "kernel/kernel.h"
 
 namespace nurd {
 
 std::optional<Matrix> cholesky(const Matrix& a) {
   NURD_CHECK(a.rows() == a.cols(), "cholesky requires a square matrix");
   const std::size_t n = a.rows();
+  const auto& kops = kernel::ops();
   Matrix l(n, n, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j <= i; ++j) {
-      double s = a(i, j);
-      for (std::size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      // s = a(i,j) − Σ_k<j l(i,k)·l(j,k): contiguous row prefixes, one
+      // kernel dot_sub (reference: the seed's sequential deductions).
+      double s = kops.dot_sub(a(i, j), l.row(i).data(), l.row(j).data(), j);
       if (i == j) {
         if (s <= 0.0) return std::nullopt;
         l(i, i) = std::sqrt(s);
@@ -32,10 +35,10 @@ std::vector<double> cholesky_solve(const Matrix& l,
   const std::size_t n = l.rows();
   NURD_CHECK(b.size() == n, "rhs size mismatch");
   // Forward substitution: L·y = b.
+  const auto& kops = kernel::ops();
   std::vector<double> y(n);
   for (std::size_t i = 0; i < n; ++i) {
-    double s = b[i];
-    for (std::size_t k = 0; k < i; ++k) s -= l(i, k) * y[k];
+    const double s = kops.dot_sub(b[i], l.row(i).data(), y.data(), i);
     y[i] = s / l(i, i);
   }
   // Back substitution: Lᵀ·x = y.
@@ -133,14 +136,15 @@ Matrix covariance(const Matrix& x) {
   Matrix cov(d, d, 0.0);
   if (n < 2) return cov;
   const auto mu = x.col_means();
+  const auto& kops = kernel::ops();
+  // Center each row into scratch, then one rank-1 syrk-lite update of the
+  // upper triangle — per-entry accumulation order matches the seed's.
+  std::vector<double> centered(d);
+  double* cov_data = cov.row(0).data();
   for (std::size_t r = 0; r < n; ++r) {
     auto v = x.row(r);
-    for (std::size_t i = 0; i < d; ++i) {
-      const double di = v[i] - mu[i];
-      for (std::size_t j = i; j < d; ++j) {
-        cov(i, j) += di * (v[j] - mu[j]);
-      }
-    }
+    kops.vsub(centered.data(), v.data(), mu.data(), d);
+    kops.syrk_rank1_upper(cov_data, d, centered.data(), d, 1.0);
   }
   const double denom = static_cast<double>(n - 1);
   for (std::size_t i = 0; i < d; ++i)
@@ -157,12 +161,12 @@ double mahalanobis_squared(std::span<const double> v,
   const std::size_t d = v.size();
   NURD_CHECK(mean.size() == d && precision.rows() == d && precision.cols() == d,
              "mahalanobis dimension mismatch");
+  const auto& kops = kernel::ops();
   std::vector<double> diff(d);
-  for (std::size_t i = 0; i < d; ++i) diff[i] = v[i] - mean[i];
+  kops.vsub(diff.data(), v.data(), mean.data(), d);
   double s = 0.0;
   for (std::size_t i = 0; i < d; ++i) {
-    double row = 0.0;
-    for (std::size_t j = 0; j < d; ++j) row += precision(i, j) * diff[j];
+    const double row = kops.dot(0.0, precision.row(i).data(), diff.data(), d);
     s += diff[i] * row;
   }
   return s;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "kernel/kernel.h"
 
 namespace nurd {
 
@@ -19,7 +20,7 @@ Matrix Matrix::from_flat(std::size_t rows, std::size_t cols,
   Matrix m;
   m.rows_ = rows;
   m.cols_ = cols;
-  m.data_ = std::move(flat);
+  m.data_.assign(flat.begin(), flat.end());
   return m;
 }
 
@@ -101,12 +102,7 @@ std::vector<double> Matrix::col_stddevs() const {
 }
 
 double squared_distance(std::span<const double> a, std::span<const double> b) {
-  double s = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
-    s += d * d;
-  }
-  return s;
+  return kernel::ops().squared_l2(a.data(), b.data(), a.size());
 }
 
 double euclidean_distance(std::span<const double> a,
@@ -115,9 +111,7 @@ double euclidean_distance(std::span<const double> a,
 }
 
 double dot(std::span<const double> a, std::span<const double> b) {
-  double s = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
-  return s;
+  return kernel::ops().dot(0.0, a.data(), b.data(), a.size());
 }
 
 double norm2(std::span<const double> a) { return std::sqrt(dot(a, a)); }

@@ -9,6 +9,8 @@
 #include <span>
 #include <vector>
 
+#include "common/aligned.h"
+
 namespace nurd {
 
 /// Read-only strided view of one matrix column. Unlike Matrix::col it does
@@ -98,7 +100,7 @@ class Matrix {
   Matrix(std::initializer_list<std::initializer_list<double>> rows);
 
   /// Builds a matrix from a flat row-major buffer. `flat.size()` must equal
-  /// rows*cols.
+  /// rows*cols. The values are copied into the matrix's aligned storage.
   static Matrix from_flat(std::size_t rows, std::size_t cols,
                           std::vector<double> flat);
 
@@ -160,10 +162,16 @@ class Matrix {
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
   std::size_t row_reserve_hint_ = 0;
-  std::vector<double> data_;
+  // 32-byte aligned so SIMD kernel backends get aligned row/column loads.
+  // reserve_rows/reset keep their capacity-preserving semantics unchanged —
+  // the allocator only changes WHERE the buffer lands, never when it is
+  // (re)allocated.
+  AlignedVector<double> data_;
 };
 
-/// Squared Euclidean distance between two equal-length vectors.
+/// Squared Euclidean distance between two equal-length vectors. Dispatches
+/// through the kernel layer (kernel/kernel.h): bit-exact under the reference
+/// backend, tolerance-bound under accelerated ones.
 double squared_distance(std::span<const double> a, std::span<const double> b);
 
 /// Euclidean distance between two equal-length vectors.

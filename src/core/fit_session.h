@@ -40,6 +40,7 @@
 #include <span>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/matrix.h"
 #include "ml/gbt.h"
 #include "trace/checkpoint_view.h"
@@ -174,15 +175,17 @@ class FitSession {
   std::vector<std::size_t> newly_finished_;
   std::vector<std::size_t> changed_rows_;
 
-  // Finished block (fin_as_of_ = checkpoint the block reflects).
+  // Finished block (fin_as_of_ = checkpoint the block reflects). Label
+  // scratch is 32-byte aligned: these spans feed straight into kernel-layer
+  // batch primitives (loss grad/hess, logistic labels).
   Matrix x_fin_;
-  std::vector<double> y_fin_;
+  AlignedVector<double> y_fin_;
   std::vector<std::size_t> fin_ids_;
   std::size_t fin_as_of_ = trace::kNoCheckpoint;
 
   // Membership block ([finished; running] assembly, both policies).
   Matrix x_member_;
-  std::vector<double> y_member_;
+  AlignedVector<double> y_member_;
   std::size_t member_as_of_ = trace::kNoCheckpoint;
 
   // Snapshot block.

@@ -1,0 +1,32 @@
+// NEON kernel backend — compile-time stub for aarch64 builds.
+//
+// The table currently forwards every primitive to the reference
+// implementations (renamed "neon"), so the dispatch plumbing — env
+// override, set_backend, bench backend columns, the CI matrix — is
+// exercised on ARM today, and tuned NEON intrinsics can land primitive by
+// primitive without touching any call site. Because it aliases the
+// reference code it inherits the bit-exact contract for free; once real
+// NEON reductions land they move to the tolerance-bound contract and
+// tests/test_kernel.cpp covers them exactly as it does AVX2.
+#include "kernel/kernel.h"
+
+namespace nurd::kernel::detail {
+
+#if defined(__aarch64__) || defined(_M_ARM64)
+
+const KernelOps* neon_ops() {
+  static const KernelOps table = [] {
+    KernelOps t = reference_ops();
+    t.name = "neon";
+    return t;
+  }();
+  return &table;
+}
+
+#else  // x86 and friends: no NEON table in this build.
+
+const KernelOps* neon_ops() { return nullptr; }
+
+#endif
+
+}  // namespace nurd::kernel::detail

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "common/check.h"
+#include "kernel/kernel.h"
 
 namespace nurd::ml {
 
@@ -197,10 +198,11 @@ void GradientBoosting::boost(const Matrix& x, std::span<const Target> targets,
                              const FeatureBinner* binner, Rng& rng,
                              std::span<const std::size_t> subset) {
   const std::size_t n = x.rows();
-  std::vector<double> grad(n), hess(n);
+  std::vector<double> grad(n), hess(n), pred(n);
   std::vector<std::size_t> all_rows(n);
   std::iota(all_rows.begin(), all_rows.end(), std::size_t{0});
   const bool active_set = !subset.empty();
+  const auto& kops = kernel::ops();
 
   for (int round = 0; round < rounds; ++round) {
     if (active_set) {
@@ -210,11 +212,8 @@ void GradientBoosting::boost(const Matrix& x, std::span<const Target> targets,
         hess[i] = gh.hess;
       }
     } else {
-      for (std::size_t i = 0; i < n; ++i) {
-        const auto gh = loss_->grad_hess(targets[i], score[i]);
-        grad[i] = gh.grad;
-        hess[i] = gh.hess;
-      }
+      // One virtual dispatch for the whole block; kernel-batched inside.
+      loss_->grad_hess_batch(targets, score, grad, hess);
     }
 
     std::vector<std::size_t> rows;
@@ -236,9 +235,8 @@ void GradientBoosting::boost(const Matrix& x, std::span<const Target> targets,
       tree.fit(x, grad, hess, rows, params_.tree, rng);
     }
 
-    for (std::size_t i = 0; i < n; ++i) {
-      score[i] += rate * tree.predict(x.row(i));
-    }
+    for (std::size_t i = 0; i < n; ++i) pred[i] = tree.predict(x.row(i));
+    kops.axpy(rate, pred.data(), score.data(), n);
     trees_.push_back(std::move(tree));
     tree_rate_.push_back(rate);
   }

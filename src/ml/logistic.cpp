@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/linalg.h"
 #include "common/stats.h"
+#include "kernel/kernel.h"
 
 namespace nurd::ml {
 
@@ -13,16 +14,16 @@ namespace {
 
 /// Penalized negative log-likelihood at θ = [w; b] (bias unpenalized), the
 /// merit function of the warm path's damped Newton. log(1+eᶻ) is evaluated
-/// in its overflow-safe form.
+/// in its overflow-safe form. The decision values go through kernel::dot
+/// (reference backend: the seed's exact accumulation order).
 double penalized_nll(const Matrix& xs, std::span<const double> y,
                      std::span<const double> sample_weight, double l2,
                      std::span<const double> theta) {
   const std::size_t d = xs.cols();
+  const auto& kops = kernel::ops();
   double nll = 0.0;
   for (std::size_t i = 0; i < xs.rows(); ++i) {
-    auto row = xs.row(i);
-    double z = theta[d];
-    for (std::size_t j = 0; j < d; ++j) z += theta[j] * row[j];
+    const double z = kops.dot(theta[d], theta.data(), xs.row(i).data(), d);
     const double log1pexp = std::max(z, 0.0) + std::log1p(std::exp(-std::abs(z)));
     const double sw = sample_weight.empty() ? 1.0 : sample_weight[i];
     nll += sw * (log1pexp - y[i] * z);
@@ -92,23 +93,29 @@ void LogisticRegression::fit(const Matrix& x, std::span<const double> y,
     return sample_weight.empty() ? 1.0 : sample_weight[i];
   };
 
+  const auto& kops = kernel::ops();
+  std::vector<double> z(n), mu(n);
   for (int it = 0; it < params_.max_iterations; ++it) {
-    // Gradient and Hessian of the penalized negative log-likelihood.
+    // Gradient and Hessian of the penalized negative log-likelihood. The
+    // X·θ product, the per-sample sigmoids, the Xᵀ·r accumulation (axpy) and
+    // the upper-triangular Xᵀ·diag(v)·X rank-1 updates (syrk-lite) all
+    // dispatch through the kernel layer; per-accumulator addition order
+    // matches the seed's scalar loops, so the reference backend reproduces
+    // the pre-kernel solver bit-for-bit.
     std::vector<double> grad(p, 0.0);
     Matrix hess(p, p, 0.0);
+    kops.gemv(xs.flat().data(), n, d, theta.data(), theta[d], z.data());
+    kops.sigmoid(z.data(), mu.data(), n);
+    double* hess_data = hess.row(0).data();
     for (std::size_t i = 0; i < n; ++i) {
       auto row = xs.row(i);
-      double z = theta[d];
-      for (std::size_t j = 0; j < d; ++j) z += theta[j] * row[j];
-      const double mu = sigmoid(z);
       const double sw = weight_of(i);
-      const double r = sw * (mu - y[i]);
-      const double v = std::max(sw * mu * (1.0 - mu), 1e-10);
-      for (std::size_t j = 0; j < d; ++j) {
-        grad[j] += r * row[j];
-        for (std::size_t k = j; k < d; ++k) hess(j, k) += v * row[j] * row[k];
-        hess(j, d) += v * row[j];
-      }
+      const double r = sw * (mu[i] - y[i]);
+      const double v = std::max(sw * mu[i] * (1.0 - mu[i]), 1e-10);
+      kops.axpy(r, row.data(), grad.data(), d);
+      kops.syrk_rank1_upper(hess_data, p, row.data(), d, v);
+      // Bias border column: hess(j, d) is p-strided, kept scalar.
+      for (std::size_t j = 0; j < d; ++j) hess(j, d) += v * row[j];
       grad[d] += r;
       hess(d, d) += v;
     }
@@ -173,9 +180,7 @@ double LogisticRegression::decision(std::span<const double> row) const {
   NURD_CHECK(fitted_, "model not fitted");
   std::vector<double> r(row.begin(), row.end());
   scaler_.transform_row(r);
-  double z = b_;
-  for (std::size_t j = 0; j < w_.size(); ++j) z += w_[j] * r[j];
-  return z;
+  return kernel::ops().dot(b_, w_.data(), r.data(), w_.size());
 }
 
 double LogisticRegression::predict_proba(std::span<const double> row) const {

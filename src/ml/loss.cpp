@@ -5,8 +5,20 @@
 
 #include "common/check.h"
 #include "common/stats.h"
+#include "kernel/kernel.h"
 
 namespace nurd::ml {
+
+void Loss::grad_hess_batch(std::span<const Target> targets,
+                           std::span<const double> score,
+                           std::span<double> grad,
+                           std::span<double> hess) const {
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const auto gh = grad_hess(targets[i], score[i]);
+    grad[i] = gh.grad;
+    hess[i] = gh.hess;
+  }
+}
 
 double SquaredLoss::init_score(std::span<const Target> targets) const {
   if (targets.empty()) return 0.0;
@@ -17,6 +29,16 @@ double SquaredLoss::init_score(std::span<const Target> targets) const {
 
 GradHess SquaredLoss::grad_hess(const Target& target, double score) const {
   return {score - target.value, 1.0};
+}
+
+void SquaredLoss::grad_hess_batch(std::span<const Target> targets,
+                                  std::span<const double> score,
+                                  std::span<double> grad,
+                                  std::span<double> hess) const {
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    grad[i] = score[i] - targets[i].value;
+    hess[i] = 1.0;
+  }
 }
 
 double LogisticLoss::init_score(std::span<const Target> targets) const {
@@ -31,6 +53,20 @@ double LogisticLoss::init_score(std::span<const Target> targets) const {
 GradHess LogisticLoss::grad_hess(const Target& target, double score) const {
   const double p = sigmoid(score);
   return {p - target.value, std::max(p * (1.0 - p), 1e-12)};
+}
+
+void LogisticLoss::grad_hess_batch(std::span<const Target> targets,
+                                   std::span<const double> score,
+                                   std::span<double> grad,
+                                   std::span<double> hess) const {
+  // One batched sigmoid (kernel-dispatched; hess doubles as the p scratch),
+  // then the same per-element grad/hess arithmetic as the scalar path.
+  kernel::ops().sigmoid(score.data(), hess.data(), score.size());
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const double p = hess[i];
+    grad[i] = p - targets[i].value;
+    hess[i] = std::max(p * (1.0 - p), 1e-12);
+  }
 }
 
 double LogisticLoss::transform(double score) const { return sigmoid(score); }
@@ -84,6 +120,18 @@ GradHess TobitLoss::grad_hess(const Target& target, double score) const {
   // d/du [−log Φ(u)] = −mills(u);  second derivative = mills(u)·(u + mills(u)).
   const double hess = std::max(mills * (u + mills), 1e-12);
   return {grad, hess};
+}
+
+void TobitLoss::grad_hess_batch(std::span<const Target> targets,
+                                std::span<const double> score,
+                                std::span<double> grad,
+                                std::span<double> hess) const {
+  // Qualified call: devirtualized per-sample math, one dispatch per batch.
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const auto gh = TobitLoss::grad_hess(targets[i], score[i]);
+    grad[i] = gh.grad;
+    hess[i] = gh.hess;
+  }
 }
 
 }  // namespace nurd::ml

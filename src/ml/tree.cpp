@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "kernel/kernel.h"
 
 namespace nurd::ml {
 
@@ -214,9 +215,10 @@ void FeatureBinner::rebin_rows(const Matrix& x,
   }
 }
 
-// Histogram-backend fit state. Histograms are flat double arrays with three
-// slots per bin — (G, H, count) — so sibling subtraction is one vectorizable
-// loop. offset[f]*3 locates feature f's bins.
+// Histogram-backend fit state. Histograms are flat aligned double arrays
+// with kernel::kHistBinStride slots per bin — (G, H, count, pad), one AVX2
+// vector each — accumulated and sibling-subtracted through the kernel
+// dispatch layer. offset[f]*kHistBinStride locates feature f's bins.
 struct RegressionTree::HistContext {
   const FeatureBinner& binner;
   std::span<const double> grad;
@@ -229,13 +231,12 @@ struct RegressionTree::HistContext {
 std::int32_t RegressionTree::build_hist(HistContext& ctx,
                                         std::vector<std::size_t>& rows,
                                         int depth,
-                                        std::vector<double>&& hist) {
+                                        AlignedVector<double>&& hist) {
   const auto& params = ctx.params;
   double g_total = 0.0, h_total = 0.0;
-  for (const auto r : rows) {
-    g_total += ctx.grad[r];
-    h_total += ctx.hess[r];
-  }
+  kernel::ops().pair_sum_indexed(ctx.grad.data(), ctx.hess.data(),
+                                 rows.data(), rows.size(), &g_total,
+                                 &h_total);
 
   const auto make_leaf = [&]() -> std::int32_t {
     Node leaf;
@@ -261,12 +262,12 @@ std::int32_t RegressionTree::build_hist(HistContext& ctx,
   for (const auto f : features) {
     const std::size_t nb = binner.bin_count(f);
     if (nb < 2) continue;  // constant feature
-    const double* bins = hist.data() + ctx.offset[f] * 3;
+    const double* bins = hist.data() + ctx.offset[f] * kernel::kHistBinStride;
     double g_left = 0.0, h_left = 0.0, n_left = 0.0;
     for (std::size_t b = 0; b + 1 < nb; ++b) {
-      g_left += bins[b * 3];
-      h_left += bins[b * 3 + 1];
-      n_left += bins[b * 3 + 2];
+      g_left += bins[b * kernel::kHistBinStride];
+      h_left += bins[b * kernel::kHistBinStride + 1];
+      n_left += bins[b * kernel::kHistBinStride + 2];
       if (n_left == 0.0) continue;        // empty prefix: same as no split
       if (n_left == n_node) break;        // empty suffix: no more candidates
       const double g_right = g_total - g_left;
@@ -307,14 +308,14 @@ std::int32_t RegressionTree::build_hist(HistContext& ctx,
   nodes_.push_back(node);
   const auto self = static_cast<std::int32_t>(nodes_.size() - 1);
 
-  std::vector<double> left_hist, right_hist;
+  AlignedVector<double> left_hist, right_hist;
   if (depth + 1 < params.max_depth) {
     // Sibling subtraction: accumulate only the smaller child; the larger
     // child's histogram is parent − smaller, reusing the parent's storage.
     const bool left_small = left_rows.size() <= right_rows.size();
     auto& small_rows = left_small ? left_rows : right_rows;
-    std::vector<double> small_hist = compute_histogram(ctx, small_rows);
-    for (std::size_t k = 0; k < hist.size(); ++k) hist[k] -= small_hist[k];
+    AlignedVector<double> small_hist = compute_histogram(ctx, small_rows);
+    kernel::ops().hist_subtract(hist.data(), small_hist.data(), hist.size());
     if (left_small) {
       left_hist = std::move(small_hist);
       right_hist = std::move(hist);
@@ -337,24 +338,20 @@ std::int32_t RegressionTree::build_hist(HistContext& ctx,
 
 // Accumulates the (G, H, count) histogram of `rows` for every feature,
 // fanning features out over the shared pool when the node is large. Each
-// feature writes a disjoint range and accumulates in row order, so the
-// result is bit-identical for any pool size.
-std::vector<double> RegressionTree::compute_histogram(
+// feature writes a disjoint range and accumulates in row order through the
+// kernel layer, so the result is bit-identical for any pool size AND any
+// backend (per-bin adds are serial in row order; see kernel.h).
+AlignedVector<double> RegressionTree::compute_histogram(
     const HistContext& ctx, const std::vector<std::size_t>& rows) {
   const FeatureBinner& binner = ctx.binner;
   const std::size_t d = binner.cols();
-  std::vector<double> hist(ctx.offset.back() * 3, 0.0);
+  AlignedVector<double> hist(ctx.offset.back() * kernel::kHistBinStride, 0.0);
 
+  const auto& kops = kernel::ops();
   const auto accumulate_feature = [&](std::size_t f) {
-    double* bins = hist.data() + ctx.offset[f] * 3;
-    const auto grad = ctx.grad;
-    const auto hess = ctx.hess;
-    for (const auto r : rows) {
-      const std::size_t b = binner.bin(f, r);
-      bins[b * 3] += grad[r];
-      bins[b * 3 + 1] += hess[r];
-      bins[b * 3 + 2] += 1.0;
-    }
+    double* bins = hist.data() + ctx.offset[f] * kernel::kHistBinStride;
+    kops.hist_accumulate(bins, binner.bin_column(f), rows.data(), rows.size(),
+                         ctx.grad.data(), ctx.hess.data());
   };
 
   if (rows.size() * d >= kParallelWorkCutoff) {
@@ -409,10 +406,8 @@ std::int32_t RegressionTree::build(const Matrix& x,
                                    std::vector<std::size_t>& rows, int depth,
                                    const TreeParams& params, Rng& rng) {
   double g_total = 0.0, h_total = 0.0;
-  for (auto r : rows) {
-    g_total += grad[r];
-    h_total += hess[r];
-  }
+  kernel::ops().pair_sum_indexed(grad.data(), hess.data(), rows.data(),
+                                 rows.size(), &g_total, &h_total);
 
   const auto make_leaf = [&]() -> std::int32_t {
     Node leaf;

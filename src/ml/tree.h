@@ -21,6 +21,7 @@
 #include <span>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/matrix.h"
 #include "common/rng.h"
 
@@ -95,6 +96,12 @@ class FeatureBinner {
     return bins_[f * n_rows_ + r];
   }
 
+  /// Feature `f`'s contiguous per-row bin slice (length rows()) — what the
+  /// kernel layer's hist_accumulate primitive consumes.
+  const std::uint16_t* bin_column(std::size_t f) const {
+    return bins_.data() + f * n_rows_;
+  }
+
   /// Split threshold after bin `b`: x ≤ edge(f, b) ⟺ bin(f, x) ≤ b.
   double edge(std::size_t f, std::size_t b) const { return edges_[f][b]; }
 
@@ -154,9 +161,9 @@ class RegressionTree {
                      const TreeParams& params, Rng& rng);
 
   std::int32_t build_hist(HistContext& ctx, std::vector<std::size_t>& rows,
-                          int depth, std::vector<double>&& hist);
+                          int depth, AlignedVector<double>&& hist);
 
-  static std::vector<double> compute_histogram(
+  static AlignedVector<double> compute_histogram(
       const HistContext& ctx, const std::vector<std::size_t>& rows);
 
   std::vector<Node> nodes_;

@@ -66,7 +66,7 @@ void CheckpointView::snapshot(Matrix* out) const {
   }
 }
 
-void CheckpointView::finished_latencies(std::vector<double>* out) const {
+void CheckpointView::finished_latencies(AlignedVector<double>* out) const {
   NURD_CHECK(out != nullptr, "finished_latencies needs a destination");
   out->clear();
   const auto fin = finished();

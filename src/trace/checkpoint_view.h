@@ -29,6 +29,7 @@
 #include <span>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/matrix.h"
 #include "trace/trace_store.h"
 
@@ -86,8 +87,9 @@ class CheckpointView {
   void snapshot(Matrix* out) const;
 
   /// Revealed latencies of the finished set, in finished() order, into the
-  /// reused `*out`.
-  void finished_latencies(std::vector<double>* out) const;
+  /// reused `*out`. Aligned destination: the block feeds kernel-layer batch
+  /// primitives downstream (loss gradients, logistic labels).
+  void finished_latencies(AlignedVector<double>* out) const;
 
   /// Delta against a previously observed checkpoint of the same stream:
   /// tasks that finished in (prev, t] and tasks whose observed row changed in

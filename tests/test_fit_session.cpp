@@ -47,7 +47,7 @@ TEST(FitSession, FullPolicyMatchesHandRolledAssembly) {
     session.observe(view);
 
     Matrix x_fin_ref;
-    std::vector<double> y_fin_ref;
+    nurd::AlignedVector<double> y_fin_ref;
     view.gather_rows(view.finished(), &x_fin_ref);
     view.finished_latencies(&y_fin_ref);
     const Matrix& x_fin = session.x_fin();

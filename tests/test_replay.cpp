@@ -110,7 +110,7 @@ TEST(Replay, InterleavedCursorsStayIndependent) {
   Replay a(jobs[0]);
   Replay b(jobs[1]);
   Matrix scratch;  // shared gather target, reused across both cursors
-  std::vector<double> lat_scratch;
+  nurd::AlignedVector<double> lat_scratch;
 
   // Round-robin at different rates: a advances every turn, b every second
   // turn — the lanes of a StreamMonitor never advance in lockstep.

@@ -261,9 +261,9 @@ TEST(CheckpointViewTest, RebindAdvancesWithoutLosingThePartition) {
 TEST(CheckpointViewTest, FinishedLatenciesInFinishedOrder) {
   const auto store = tiny_store();
   const CheckpointView view(store, 2);
-  std::vector<double> lat;
+  nurd::AlignedVector<double> lat;
   view.finished_latencies(&lat);
-  EXPECT_EQ(lat, (std::vector<double>{1.0, 5.0, 9.0}));
+  EXPECT_EQ(lat, (nurd::AlignedVector<double>{1.0, 5.0, 9.0}));
 }
 
 // ---- the view-delta API ----------------------------------------------------
