@@ -5,11 +5,12 @@
 //   $ ./bench_refit [--jobs=16] [--dataset=google|alibaba|both]
 //                   [--min-tasks=100] [--max-tasks=400] [--checkpoints=10]
 //                   [--methods=NURD,NURD-NC,GBTR,Grabit] [--check=0]
-//                   [--backend=reference|avx2|auto]
+//                   [--backend=reference|avx2|auto] [--json=<path>]
 //
 // --backend pins the kernel-dispatch backend every refit runs under
 // (default: the library's env-resolved default); the active backend is
-// named in the output header so timings are attributable.
+// named in the output header so timings are attributable. --json writes the
+// per-method results machine-readably (the CI bench artifact).
 //
 // Defaults mirror the Table-3 evaluation protocol (the regime every warm
 // knob is tuned against); --min-tasks/--max-tasks/--checkpoints scale the
@@ -127,6 +128,7 @@ int main(int argc, char** argv) {
   const auto methods =
       bench::split_csv(bench::arg_string(argc, argv, "methods",
                                   "NURD,NURD-NC,GBTR,Grabit"));
+  const auto json_path = bench::arg_string(argc, argv, "json", "");
 
   std::vector<bench::Dataset> datasets;
   if (which == "google" || which == "both") {
@@ -151,6 +153,13 @@ int main(int argc, char** argv) {
     return trace::AlibabaLikeGenerator(config).generate(n_jobs);
   };
 
+  bench::JsonWriter json;
+  json.begin_object();
+  json.key("bench").value("refit");
+  json.key("jobs").value(n_jobs);
+  json.key("kernel_backend").value(kernel::backend_name());
+  json.key("datasets").begin_array();
+
   bool ok = true;
   for (const auto dataset : datasets) {
     const auto jobs = make_scaled_jobs(dataset);
@@ -161,6 +170,9 @@ int main(int argc, char** argv) {
     std::printf("=== bench_refit — %s (%zu jobs, kernel backend: %s) ===\n",
                 bench::dataset_name(dataset), jobs.size(),
                 kernel::backend_name());
+    json.begin_object();
+    json.key("dataset").value(bench::dataset_name(dataset));
+    json.key("methods").begin_array();
     for (const auto& name : methods) {
       const auto alloc_before = bench::alloc_stats();
       const auto full =
@@ -202,6 +214,16 @@ int main(int argc, char** argv) {
           static_cast<double>(alloc_after.bytes - alloc_mid.bytes) /
               (1024.0 * 1024.0));
 
+      json.begin_object();
+      json.key("method").value(name);
+      json.key("late_checkpoint_ms_full").value(1e3 * late_full);
+      json.key("late_checkpoint_ms_incremental").value(1e3 * late_inc);
+      json.key("late_checkpoint_ratio").value(ratio);
+      json.key("macro_f1_full").value(full.metrics.f1);
+      json.key("macro_f1_incremental").value(inc.metrics.f1);
+      json.key("macro_f1_drift").value(drift);
+      json.end_object();
+
       if (ratio < 3.0) {
         std::printf("  [check] FAIL: late-checkpoint ratio %.2fx < 3x\n",
                     ratio);
@@ -212,8 +234,15 @@ int main(int argc, char** argv) {
         ok = false;
       }
     }
+    json.end_array();
+    json.end_object();
     std::printf("\n");
   }
+  json.end_array();
+  json.key("peak_rss_bytes").value(bench::peak_rss_bytes());
+  json.key("check_ok").value(ok);
+  json.end_object();
+  if (!json_path.empty() && !json.write_file(json_path)) return 1;
   bench::print_resource_report("bench_refit");
   if (check && !ok) {
     std::printf("bench_refit --check: FAILED\n");

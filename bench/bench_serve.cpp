@@ -1,22 +1,32 @@
 // Serving-layer bench: sustained checkpoints/sec, per-checkpoint decision
-// latency (p50/p99, admission -> flags emitted), and backlog depth while a
-// StreamMonitor multiplexes concurrent jobs over the shared pool.
+// latency (p50/p99, admission -> flags emitted), backlog depth, and the
+// stage-level time breakdown while a StreamMonitor multiplexes concurrent
+// jobs over the shared pool.
 //
 //   ./bench_serve                         # NURD, both tuned configs, 1/4/16
 //   ./bench_serve --levels=1,4,16,64      # wider concurrency sweep
-//   ./bench_serve --method=GBTR --rounds=10 --dataset=google   # CI smoke
+//   ./bench_serve --executor=lanes        # the serial-lane baseline the
+//                                         # task-DAG pipeline is compared to
+//   ./bench_serve --method=GBTR --rounds=10 --dataset=google
+//                 --json=BENCH_serve.json   # the CI smoke invocation
 //
 // Flags: --levels (comma list of concurrent-job counts), --method (Table-3
-// name), --dataset=google|alibaba|both, --threads (serving lanes, 0 = hw),
-// --rounds (override boosting rounds; 0 keeps the tuned config), --seed.
-// Every level serves each job's FULL checkpoint stream with batch arrivals,
-// so `level` is exactly the number of jobs streaming concurrently.
+// name), --dataset=google|alibaba|both, --threads (serving workers, 0 = hw),
+// --executor=dag|lanes (stage-pipelined task-DAG executor, the default, vs
+// monolithic per-job serial lanes), --window (per-job in-flight checkpoint
+// window of the DAG), --rounds (override boosting rounds; 0 keeps the tuned
+// config), --seed, --json=<path> (machine-readable results; what CI uploads
+// as the bench artifact). Every level serves each job's FULL checkpoint
+// stream with batch arrivals, so `level` is exactly the number of jobs
+// streaming concurrently.
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
 #include "common/table.h"
+#include "core/task_dag.h"
+#include "kernel/kernel.h"
 #include "serve/stream_monitor.h"
 
 namespace {
@@ -41,9 +51,22 @@ int main(int argc, char** argv) {
   const auto dataset = bench::arg_string(argc, argv, "dataset", "both");
   const auto threads =
       static_cast<std::size_t>(bench::arg_long(argc, argv, "threads", 0));
+  const auto executor = bench::arg_string(argc, argv, "executor", "dag");
+  const auto window =
+      static_cast<std::size_t>(bench::arg_long(argc, argv, "window", 4));
   const auto rounds = bench::arg_long(argc, argv, "rounds", 0);
   const auto seed =
       static_cast<std::uint64_t>(bench::arg_long(argc, argv, "seed", 0));
+  const auto json_path = bench::arg_string(argc, argv, "json", "");
+
+  if (executor != "dag" && executor != "lanes") {
+    std::fprintf(stderr, "unknown --executor=%s (dag|lanes)\n",
+                 executor.c_str());
+    return 2;
+  }
+  const auto executor_mode = executor == "dag"
+                                 ? serve::ExecutorMode::kDag
+                                 : serve::ExecutorMode::kSerialLanes;
 
   std::vector<bench::Dataset> datasets;
   if (dataset != "alibaba") datasets.push_back(bench::Dataset::kGoogle);
@@ -51,8 +74,20 @@ int main(int argc, char** argv) {
 
   std::printf(
       "bench_serve: %s, RefitPolicy::kIncremental, batch arrivals, "
-      "lanes=%zu (0 = hardware)\n",
-      method_name.c_str(), threads);
+      "executor=%s, window=%zu, workers=%zu (0 = hardware), "
+      "kernel backend: %s\n",
+      method_name.c_str(), executor.c_str(), window, threads,
+      kernel::backend_name());
+
+  bench::JsonWriter json;
+  json.begin_object();
+  json.key("bench").value("serve");
+  json.key("method").value(method_name);
+  json.key("executor").value(executor);
+  json.key("window").value(window);
+  json.key("threads").value(threads);
+  json.key("kernel_backend").value(kernel::backend_name());
+  json.key("datasets").begin_array();
 
   for (const auto ds : datasets) {
     auto tuned = bench::tuned_config(ds);
@@ -64,11 +99,21 @@ int main(int argc, char** argv) {
     std::printf("\n%s-like traces\n", bench::dataset_name(ds));
     TextTable table({"jobs", "ckpts", "flags", "ckpt/s", "p50 ms", "p99 ms",
                      "peak backlog", "wall s"});
+    // Per-stage busy time as share of total stage work, one row per level —
+    // the pipelining story: which stage the wall-clock actually goes to.
+    TextTable stages({"jobs", "featurize", "refit", "predict", "flag",
+                      "busy s"});
+    json.begin_object();
+    json.key("dataset").value(bench::dataset_name(ds));
+    json.key("levels").begin_array();
+
     const auto before = bench::alloc_stats();
     for (const auto level : levels) {
       const auto jobs = bench::make_jobs(ds, level, seed);
       serve::StreamMonitorConfig config;
       config.threads = threads;
+      config.executor = executor_mode;
+      config.window = window;
       serve::StreamMonitor monitor(jobs, method_name, tuned, config);
       const auto served = monitor.run();
       const auto& s = served.stats;
@@ -79,9 +124,46 @@ int main(int argc, char** argv) {
                      TextTable::num(s.p99_latency_ms, 2),
                      std::to_string(s.peak_backlog),
                      TextTable::num(s.wall_seconds, 2)});
+
+      double busy = 0.0;
+      for (const double sec : s.stage_seconds) busy += sec;
+      std::vector<std::string> row = {std::to_string(s.jobs)};
+      for (std::size_t i = 0; i < core::kStageCount; ++i) {
+        row.push_back(TextTable::num(
+                          busy > 0.0 ? 100.0 * s.stage_seconds[i] / busy : 0.0,
+                          1) +
+                      "%");
+      }
+      row.push_back(TextTable::num(busy, 2));
+      stages.add_row(row);
+
+      json.begin_object();
+      json.key("jobs").value(s.jobs);
+      json.key("checkpoints").value(s.checkpoints);
+      json.key("flags").value(s.flags);
+      json.key("workers").value(s.lanes);
+      json.key("ckpt_per_sec").value(s.checkpoints_per_sec);
+      json.key("p50_latency_ms").value(s.p50_latency_ms);
+      json.key("p99_latency_ms").value(s.p99_latency_ms);
+      json.key("peak_backlog").value(s.peak_backlog);
+      json.key("wall_seconds").value(s.wall_seconds);
+      json.key("stage_seconds").begin_object();
+      for (std::size_t i = 0; i < core::kStageCount; ++i) {
+        json.key(core::stage_name(static_cast<core::Stage>(i)))
+            .value(s.stage_seconds[i]);
+      }
+      json.end_object();
+      json.end_object();
     }
     std::printf("%s", table.render().c_str());
+    std::printf("stage share of busy time\n%s", stages.render().c_str());
     bench::print_resource_report("serve", before);
+    json.end_array();
+    json.key("peak_rss_bytes").value(bench::peak_rss_bytes());
+    json.end_object();
   }
+  json.end_array();
+  json.end_object();
+  if (!json_path.empty() && !json.write_file(json_path)) return 1;
   return 0;
 }

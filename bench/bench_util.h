@@ -122,6 +122,97 @@ inline long arg_long(int argc, char** argv, std::string_view name,
   return s.empty() ? fallback : std::strtol(s.c_str(), nullptr, 10);
 }
 
+/// Tiny streaming JSON emitter for the benches' machine-readable outputs
+/// (--json=<path>). Supports exactly what they need — nested objects and
+/// arrays, string / double / integer values — with standard escaping. Usage
+/// is positional: key() before each value inside an object, bare value()
+/// inside an array; no validation beyond that, the benches are the schema.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() { sep(); out_ += '{'; firsts_.push_back(true); return *this; }
+  JsonWriter& end_object() { firsts_.pop_back(); out_ += '}'; return *this; }
+  JsonWriter& begin_array() { sep(); out_ += '['; firsts_.push_back(true); return *this; }
+  JsonWriter& end_array() { firsts_.pop_back(); out_ += ']'; return *this; }
+
+  JsonWriter& key(std::string_view k) {
+    sep();
+    quote(k);
+    out_ += ':';
+    after_key_ = true;
+    return *this;
+  }
+  JsonWriter& value(std::string_view v) { sep(); quote(v); return *this; }
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v) {
+    sep();
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    out_ += buf;
+    return *this;
+  }
+  JsonWriter& value(std::size_t v) {
+    sep();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(bool v) { sep(); out_ += v ? "true" : "false"; return *this; }
+
+  const std::string& str() const { return out_; }
+
+  /// Writes the document (plus a trailing newline) to `path`; false + a
+  /// stderr note on failure.
+  bool write_file(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fwrite(out_.data(), 1, out_.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  // Comma bookkeeping: a value right after its key never takes a comma; any
+  // other element takes one unless it is the first in its container.
+  void sep() {
+    if (after_key_) {
+      after_key_ = false;
+      return;
+    }
+    if (!firsts_.empty()) {
+      if (!firsts_.back()) out_ += ',';
+      firsts_.back() = false;
+    }
+  }
+  void quote(std::string_view s) {
+    out_ += '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\t': out_ += "\\t"; break;
+        case '\r': out_ += "\\r"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<bool> firsts_;
+  bool after_key_ = false;
+};
+
 /// Splits a comma-separated flag value ("--methods=NURD,GBTR",
 /// "--levels=1,4,16") into its tokens.
 inline std::vector<std::string> split_csv(const std::string& csv) {

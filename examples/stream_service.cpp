@@ -70,7 +70,7 @@ int main(int argc, char** argv) {
   const auto served = monitor.run();
   const auto live = feed.finish();
 
-  std::printf("served %zu jobs (%zu checkpoints) over %zu lanes: "
+  std::printf("served %zu jobs (%zu checkpoints) over %zu workers: "
               "%.0f ckpt/s, p50 %.2f ms, p99 %.2f ms, peak backlog %zu\n",
               served.stats.jobs, served.stats.checkpoints,
               served.stats.lanes, served.stats.checkpoints_per_sec,
@@ -95,7 +95,7 @@ int main(int argc, char** argv) {
     identical = identical &&
                 served.runs[j].flagged_at == reference[j].flagged_at;
   }
-  std::printf("parity with eval::run_method at %zu lanes: %s\n", threads,
+  std::printf("parity with eval::run_method at %zu workers: %s\n", threads,
               identical ? "bit-identical" : "DIVERGED (bug!)");
   return identical ? 0 : 1;
 }

@@ -85,8 +85,24 @@ void ThreadPool::run_share(const std::shared_ptr<LoopState>& state) {
   g_in_pool_task = was_in_task;
 }
 
+bool ThreadPool::poisoned() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return detached_error_ != nullptr;
+}
+
+void ThreadPool::surface_poison() {
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!detached_error_) return;
+    std::swap(error, detached_error_);
+  }
+  std::rethrow_exception(error);
+}
+
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& fn) {
+  surface_poison();
   if (count == 0) return;
   if (workers_.empty() || count == 1 || g_in_pool_task) {
     for (std::size_t i = 0; i < count; ++i) fn(i);
@@ -124,17 +140,24 @@ void ThreadPool::parallel_for(std::size_t count,
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  surface_poison();
   // The wrapper marks the thread as pool-occupied for the task's duration so
   // nested parallel_for calls stay serial (see the header: one lane per
-  // submitted task). The flag restore is RAII so an escaping exception still
-  // leaves the lane state clean before it terminates the worker.
-  auto wrapped = [task = std::move(task)] {
+  // submitted task). An exception escaping the task poisons the pool instead
+  // of unwinding the worker thread (which would std::terminate the process
+  // with no diagnostic); the next enqueue surfaces it.
+  auto wrapped = [this, task = std::move(task)] {
     struct FlagGuard {
       bool saved = g_in_pool_task;
       FlagGuard() { g_in_pool_task = true; }
       ~FlagGuard() { g_in_pool_task = saved; }
     } guard;
-    task();
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!detached_error_) detached_error_ = std::current_exception();
+    }
   };
   if (workers_.empty()) {
     wrapped();

@@ -61,11 +61,19 @@ class ThreadPool {
   /// from each task fanning out again. On a zero-worker pool the task runs
   /// inline on the calling thread before submit() returns.
   ///
-  /// Unlike parallel_for, there is no completion channel, so the task must
-  /// not let exceptions escape — an escaping exception unwinds the worker
-  /// thread and terminates the process. Callers keep their own try/catch
-  /// and completion accounting (see serve::StreamMonitor's drain lanes).
+  /// Unlike parallel_for, there is no completion channel. A detached task
+  /// SHOULD keep its own try/catch and completion accounting (see the
+  /// serving executors); an exception that does escape one does not unwind
+  /// the worker — the pool catches it, records the first such exception, and
+  /// enters a POISONED state: the next submit() or parallel_for() call
+  /// rethrows the recorded exception on the caller (and clears it, so the
+  /// pool stays usable afterwards). Destruction never throws; an unread
+  /// poison is dropped with the pool.
   void submit(std::function<void()> task);
+
+  /// True when a detached task died with an exception that no submit() or
+  /// parallel_for() call has surfaced yet.
+  bool poisoned() const;
 
   /// Process-wide shared pool sized to the hardware: hardware_concurrency−1
   /// workers (the caller supplies the remaining lane), so a single-core
@@ -86,11 +94,16 @@ class ThreadPool {
   void worker_loop();
   static void run_share(const std::shared_ptr<LoopState>& state);
 
+  /// Rethrows (and clears) the recorded detached-task exception if one is
+  /// pending; called at the poison surfacing points.
+  void surface_poison();
+
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
+  std::exception_ptr detached_error_;  ///< first escapee; guarded by mutex_
 };
 
 }  // namespace nurd

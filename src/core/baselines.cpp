@@ -35,14 +35,31 @@ void GbtrPredictor::initialize(const JobContext& context) {
   tau_stra_ = context.tau_stra;
   session_.reset();
   model_.reset();
+  fitted_checkpoint_ = trace::kNoCheckpoint;
+}
+
+void GbtrPredictor::featurize_checkpoint(const trace::CheckpointView& view) {
+  session_.stage(view, kFinishedBlock);
+}
+
+void GbtrPredictor::refit_checkpoint(const trace::CheckpointView& view,
+                                     std::span<const std::size_t> candidates) {
+  // The same skip guard as predict_stragglers: an untouched checkpoint must
+  // stay untouched on both paths or warm-model trajectories diverge.
+  if (view.finished().empty() || candidates.empty()) return;
+  session_.promote(view);
+  refit_finished_gbt(session_, params_, &model_);
+  fitted_checkpoint_ = view.index();
 }
 
 std::vector<std::size_t> GbtrPredictor::predict_stragglers(
     const trace::CheckpointView& view,
     std::span<const std::size_t> candidates) {
   if (view.finished().empty() || candidates.empty()) return {};
-  session_.observe(view);
-  refit_finished_gbt(session_, params_, &model_);
+  if (fitted_checkpoint_ != view.index()) {
+    session_.promote(view);  // falls back to observe() when nothing staged
+    refit_finished_gbt(session_, params_, &model_);
+  }
   std::vector<std::size_t> flagged;
   for (auto i : candidates) {
     if (model_.model->predict(view.row(i)) >= tau_stra_) flagged.push_back(i);

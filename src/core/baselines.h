@@ -47,11 +47,20 @@ class GbtrPredictor final : public StragglerPredictor {
       const trace::CheckpointView& view,
       std::span<const std::size_t> candidates) override;
 
+  /// Staged pipeline (see StragglerPredictor): featurize stages the
+  /// finished block, refit replicates the guard-then-fit sequence,
+  /// predict_stragglers then only scores.
+  bool staged() const override { return true; }
+  void featurize_checkpoint(const trace::CheckpointView& view) override;
+  void refit_checkpoint(const trace::CheckpointView& view,
+                        std::span<const std::size_t> candidates) override;
+
  private:
   ml::GbtParams params_;
   double tau_stra_ = 0.0;
   FitSession session_;
   GbtRefitState model_;
+  std::size_t fitted_checkpoint_ = trace::kNoCheckpoint;
 };
 
 /// Generic adapter for the 13 unsupervised detectors: at each checkpoint the

@@ -24,6 +24,8 @@ void NurdPredictor::initialize(const JobContext& context) {
   session_.reset();
   ht_.reset();
   gt_.reset();
+  fitted_checkpoint_ = trace::kNoCheckpoint;
+  fitted_models_ = {};
 }
 
 void NurdPredictor::calibrate(const trace::CheckpointView& view) {
@@ -59,7 +61,9 @@ double NurdPredictor::weight(double propensity) const {
 
 NurdPredictor::CheckpointModels NurdPredictor::fit_models(
     const trace::CheckpointView& view) {
-  session_.observe(view);
+  // promote() adopts blocks the featurize stage pre-assembled and degrades
+  // to a plain observe() when nothing is staged (the monolithic path).
+  session_.promote(view);
   CheckpointModels models;
   if (view.finished().empty()) {
     ht_.reset();
@@ -96,12 +100,33 @@ NurdPredictor::CheckpointModels NurdPredictor::fit_models(
   return models;
 }
 
+void NurdPredictor::featurize_checkpoint(const trace::CheckpointView& view) {
+  // Everything fit_models reads from the session: the finished block for ht,
+  // the membership block for gt. Model state is untouched — that is the
+  // staged-hook contract.
+  session_.stage(view, kFinishedBlock | kMemberBlock);
+}
+
+void NurdPredictor::refit_checkpoint(const trace::CheckpointView& view,
+                                     std::span<const std::size_t> candidates) {
+  // Exactly predict_stragglers' preamble, including the skip guard: a
+  // checkpoint with no finished tasks or no candidates must leave the models
+  // (and the session's observed cursor) untouched on both paths, or the
+  // warm-start trajectories diverge.
+  calibrate(view);
+  if (view.finished().empty() || candidates.empty()) return;
+  fitted_models_ = fit_models(view);
+  fitted_checkpoint_ = view.index();
+}
+
 std::vector<std::size_t> NurdPredictor::predict_stragglers(
     const trace::CheckpointView& view,
     std::span<const std::size_t> candidates) {
   calibrate(view);
   if (view.finished().empty() || candidates.empty()) return {};
-  const auto models = fit_models(view);
+  const auto models = fitted_checkpoint_ == view.index()
+                          ? fitted_models_
+                          : fit_models(view);
 
   std::vector<std::size_t> flagged;
   for (auto i : candidates) {

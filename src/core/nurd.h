@@ -69,6 +69,15 @@ class NurdPredictor final : public StragglerPredictor {
       const trace::CheckpointView& view,
       std::span<const std::size_t> candidates) override;
 
+  /// Staged pipeline: featurize stages the finished + membership blocks in
+  /// the session's double buffer; refit replicates predict_stragglers'
+  /// calibrate-then-guard-then-fit sequence; predict_stragglers detects the
+  /// pre-fitted checkpoint and only scores.
+  bool staged() const override { return true; }
+  void featurize_checkpoint(const trace::CheckpointView& view) override;
+  void refit_checkpoint(const trace::CheckpointView& view,
+                        std::span<const std::size_t> candidates) override;
+
   /// Computes ρ and δ from `view`'s finished/running centroids (Algorithm 1
   /// lines 4–6). Called automatically on the first predicted view;
   /// idempotent afterwards.
@@ -116,6 +125,12 @@ class NurdPredictor final : public StragglerPredictor {
   FitSession session_;
   GbtRefitState ht_;
   std::optional<ml::LogisticRegression> gt_;
+
+  /// Checkpoint refit_checkpoint() last fitted (kNoCheckpoint otherwise):
+  /// predict_stragglers for the same view reuses fitted_models_ instead of
+  /// refitting.
+  std::size_t fitted_checkpoint_ = trace::kNoCheckpoint;
+  CheckpointModels fitted_models_;
 };
 
 }  // namespace nurd::core

@@ -80,16 +80,24 @@ struct JobContext {
 ///     instances on many jobs, never from sharing one;
 ///   * initialize() happens-before the first predict_stragglers(), and
 ///     views arrive strictly in ascending checkpoint order with no gaps —
-///     the serving layer's per-job lanes guarantee checkpoint t+1 never
-///     overtakes t even when refits run as detached pool tasks;
+///     the serving layer's task-DAG executor orders the refit chain so
+///     checkpoint t+1 never observes state newer than t's model even
+///     though stages of different checkpoints overlap;
 ///   * a driver may hand the instance between threads across checkpoints
-///     (a lane's drain task can run on any pool worker) as long as the
-///     hand-off synchronizes (the lane mutex does), so implementations
-///     must not cache thread-local state across calls;
+///     (a stage task can run on any pool worker) as long as the hand-off
+///     synchronizes (the executor's edges do), so implementations must
+///     not cache thread-local state across calls;
 ///   * predictions must be a deterministic function of the views observed
 ///     so far (all randomness from explicit seeds) — this is what makes a
 ///     concurrent serving run's flag set bit-identical to the serialized
-///     one.
+///     one;
+///   * the staged hooks below relax single-threadedness in ONE controlled
+///     way: featurize_checkpoint(t) may run concurrently with
+///     refit/predict work for checkpoints < t of the SAME instance (at
+///     most featurize_ahead = 2 ahead; see core/task_dag.h). Staged
+///     implementations confine featurization writes to double-buffered
+///     scratch (FitSession::stage) so the overlap never touches model
+///     state.
 class StragglerPredictor {
  public:
   virtual ~StragglerPredictor() = default;
@@ -109,6 +117,39 @@ class StragglerPredictor {
   virtual std::vector<std::size_t> predict_stragglers(
       const trace::CheckpointView& view,
       std::span<const std::size_t> candidates) = 0;
+
+  // ---- staged-pipeline hooks (the task-DAG executor) ----------------------
+  // A staged predictor splits its per-checkpoint work so the executor can
+  // overlap checkpoints: featurize_checkpoint(t) assembles feature blocks
+  // ahead of time, refit_checkpoint(t) adopts them and updates the models,
+  // and predict_stragglers(t) then only scores. The split must be
+  // semantics-preserving: driving a staged predictor through
+  // featurize → refit → predict yields bit-identical flags to calling
+  // predict_stragglers alone, including the skip guards (which is why
+  // refit_checkpoint receives the candidate set — guards like "no finished
+  // tasks or no candidates ⇒ don't touch the models" must fire identically
+  // on both paths). Monolithic predictors keep the defaults: the harness
+  // then runs all the work inside the Predict stage, still correct under
+  // the executor's edge chain.
+
+  /// True when featurize_checkpoint/refit_checkpoint carry real work.
+  virtual bool staged() const { return false; }
+
+  /// (Featurize stage) Assembles feature blocks for `view`, up to two
+  /// checkpoints ahead of the refit chain. Must not read or write model
+  /// state.
+  virtual void featurize_checkpoint(const trace::CheckpointView& view) {
+    (void)view;
+  }
+
+  /// (Refit stage) Adopts the staged blocks and refits the models exactly
+  /// as predict_stragglers(view, candidates) would have. A following
+  /// predict_stragglers call with the same view must not refit again.
+  virtual void refit_checkpoint(const trace::CheckpointView& view,
+                                std::span<const std::size_t> candidates) {
+    (void)view;
+    (void)candidates;
+  }
 };
 
 /// Factory producing a fresh predictor per job. Factories are immutable

@@ -5,7 +5,6 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
-#include "trace/replay.h"
 
 namespace nurd::eval {
 
@@ -21,7 +20,9 @@ core::JobContext make_job_context(const trace::Job& job, double tau_stra) {
 
 OnlineJobRun::OnlineJobRun(const trace::Job& job,
                            core::StragglerPredictor& predictor, double pct)
-    : job_(&job), predictor_(&predictor), replay_(job) {
+    : job_(&job),
+      predictor_(&predictor),
+      checkpoint_count_(job.checkpoint_count()) {
   NURD_CHECK(job.checkpoint_count() > 0, "job has no checkpoints");
   labels_ = job.straggler_labels(pct);
   result_.flagged_at.assign(job.task_count(), kNeverFlagged);
@@ -41,35 +42,83 @@ OnlineJobRun::OnlineJobRun(const trace::Job& job,
 }
 
 std::size_t OnlineJobRun::next_checkpoint() const {
-  NURD_CHECK(replay_.has_next(), "job run already complete");
-  return replay_.next_index();
+  NURD_CHECK(flagged_through_ < checkpoint_count_,
+             "job run already complete");
+  return flagged_through_;
 }
 
-std::span<const std::size_t> OnlineJobRun::step() {
-  const std::size_t n = job_->task_count();
-  // The checkpoint stream arrives through the Replay cursor, whose advance
-  // path rebinds one view in place (reusing the partition capacity) — the
-  // same forward-only stream a FitSession-backed predictor consumes
-  // incrementally.
-  const std::size_t t = replay_.advance();
-  const trace::CheckpointView& view = replay_.view();
-  // Candidates: running tasks that have not been flagged yet.
-  const auto running = view.running();
-  candidates_.clear();
-  candidates_.reserve(running.size());
-  for (auto i : running) {
-    if (result_.flagged_at[i] == kNeverFlagged) candidates_.push_back(i);
+void OnlineJobRun::featurize(std::size_t t, CheckpointScratch* scratch) {
+  NURD_CHECK(t == featurized_through_,
+             "featurize stages must advance checkpoints in order");
+  ++featurized_through_;
+  // Bind the checkpoint view into the cell — rebinding in place once bound,
+  // reusing the partition capacity, the same forward-only stream the old
+  // Replay cursor produced.
+  if (scratch->view.has_value() && &scratch->view->store() == &job_->trace) {
+    scratch->view->rebind(t);
+  } else {
+    scratch->view.emplace(job_->trace, t);
   }
-  newly_flagged_ = predictor_->predict_stragglers(view, candidates_);
-  for (auto i : newly_flagged_) {
+  predictor_->featurize_checkpoint(*scratch->view);
+}
+
+void OnlineJobRun::refit(std::size_t t, CheckpointScratch* scratch) {
+  NURD_CHECK(t == refitted_through_,
+             "refit stages must advance checkpoints in order");
+  // "featurize ran first" is checked through the cell, not the featurize
+  // cursor: featurize(t+1) may legally run concurrently with refit(t) (the
+  // executor's overlap), so reading featurized_through_ here would race.
+  // The cell's view is written by featurize(t) itself, which the
+  // Refit(t) ◄─ Featurize(t) edge orders before this call.
+  NURD_CHECK(scratch->view.has_value() && scratch->view->index() == t,
+             "refit before featurize");
+  ++refitted_through_;
+  const trace::CheckpointView& view = *scratch->view;
+  // Candidates: running tasks that have not been flagged yet. The flag
+  // record is complete through t-1 here (the executor's Refit ◄─ Predict
+  // edge; inline composition trivially), so this is exactly the monolithic
+  // candidate set.
+  const auto running = view.running();
+  scratch->candidates.clear();
+  scratch->candidates.reserve(running.size());
+  for (auto i : running) {
+    if (result_.flagged_at[i] == kNeverFlagged) {
+      scratch->candidates.push_back(i);
+    }
+  }
+  predictor_->refit_checkpoint(view, scratch->candidates);
+}
+
+void OnlineJobRun::predict(std::size_t t, CheckpointScratch* scratch) {
+  NURD_CHECK(t == predicted_through_,
+             "predict stages must advance checkpoints in order");
+  NURD_CHECK(t < refitted_through_, "predict before refit");
+  ++predicted_through_;
+  const std::size_t n = job_->task_count();
+  const trace::CheckpointView& view = *scratch->view;
+  scratch->newly_flagged =
+      predictor_->predict_stragglers(view, scratch->candidates);
+  for (auto i : scratch->newly_flagged) {
     NURD_CHECK(i < n, "predictor flagged an invalid task id");
     NURD_CHECK(result_.flagged_at[i] == kNeverFlagged,
                "predictor flagged a task twice");
     result_.flagged_at[i] = t;
   }
+}
 
-  // Cumulative confusion at this checkpoint: every unflagged true
-  // straggler counts as a provisional miss.
+std::span<const std::size_t> OnlineJobRun::flag(std::size_t t,
+                                                CheckpointScratch* scratch) {
+  NURD_CHECK(t == flagged_through_,
+             "flag stages must advance checkpoints in order");
+  NURD_CHECK(t < predicted_through_, "flag before predict");
+  ++flagged_through_;
+  // Cumulative confusion at this checkpoint: every unflagged true straggler
+  // counts as a provisional miss. flagged_at entries written by LATER
+  // predicts carry indices > t, so the <= t test is stable even while
+  // predict(t+1) runs concurrently... except that concurrent writes to
+  // other slots are real; the executor's Predict(t+1) ◄─ Flag(t) edge is
+  // what rules them out.
+  const std::size_t n = job_->task_count();
   Confusion& c = result_.per_checkpoint[t];
   for (std::size_t i = 0; i < n; ++i) {
     const bool flagged_yet = result_.flagged_at[i] <= t;
@@ -78,8 +127,18 @@ std::span<const std::size_t> OnlineJobRun::step() {
     if (!flagged_yet && labels_[i] == 1) ++c.fn;
     if (!flagged_yet && labels_[i] == 0) ++c.tn;
   }
-  if (!replay_.has_next()) result_.final = result_.per_checkpoint.back();
-  return newly_flagged_;
+  if (flagged_through_ == checkpoint_count_) {
+    result_.final = result_.per_checkpoint.back();
+  }
+  return scratch->newly_flagged;
+}
+
+std::span<const std::size_t> OnlineJobRun::step() {
+  const std::size_t t = next_checkpoint();
+  featurize(t, &step_scratch_);
+  refit(t, &step_scratch_);
+  predict(t, &step_scratch_);
+  return flag(t, &step_scratch_);
 }
 
 JobRunResult OnlineJobRun::take_result() {

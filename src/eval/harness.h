@@ -19,8 +19,8 @@
 
 #include "core/predictor.h"
 #include "eval/metrics.h"
+#include "trace/checkpoint_view.h"
 #include "trace/job.h"
-#include "trace/replay.h"
 
 namespace nurd::eval {
 
@@ -42,18 +42,39 @@ struct JobRunResult {
 /// caller mirrors the harness protocol exactly.
 core::JobContext make_job_context(const trace::Job& job, double tau_stra);
 
+/// Per-checkpoint scratch cell handed between the pipeline stages of ONE
+/// checkpoint: featurize() binds the view, refit() fills the candidate set,
+/// predict() fills the newly-flagged set, flag() consumes both. The serving
+/// layer keeps a ring of these per job (one cell per in-flight checkpoint,
+/// reused modulo the executor's window); the batch harness reuses a single
+/// cell. A default-constructed cell is ready for any checkpoint — the view
+/// rebinds in place, reusing partition capacity, once bound.
+struct CheckpointScratch {
+  std::optional<trace::CheckpointView> view;
+  std::vector<std::size_t> candidates;
+  std::vector<std::size_t> newly_flagged;
+};
+
 /// The §7.1 protocol, one checkpoint at a time. OnlineJobRun owns exactly
-/// the state run_job used to keep on its stack — the labels, the Replay
-/// cursor, the candidate scratch, the growing flag/confusion record — and
-/// step() advances one checkpoint: candidates are the running tasks not yet
-/// flagged, predict_stragglers decides, flags are recorded permanently, the
+/// the state run_job used to keep on its stack — the labels, the checkpoint
+/// cursors, the growing flag/confusion record — and step() advances one
+/// checkpoint: candidates are the running tasks not yet flagged,
+/// predict_stragglers decides, flags are recorded permanently, the
 /// cumulative confusion is appended. run_job is a loop over this class, and
 /// the serving layer (serve::StreamMonitor) drives the SAME class from its
-/// event queue — which is what makes serialized serving bit-identical to the
-/// batch harness by construction rather than by parallel maintenance.
+/// event queue — which is what makes serving bit-identical to the batch
+/// harness by construction rather than by parallel maintenance.
 ///
-/// Not thread-safe: one OnlineJobRun per (job, predictor instance), stepped
-/// by one thread at a time. Checkpoints advance strictly in order.
+/// step() is itself the composition of four STAGE methods — featurize,
+/// refit, predict, flag — so the task-DAG executor can run the stages of
+/// different checkpoints concurrently (core/task_dag.h) while the batch
+/// path runs them back to back; one code path, bit-identical flags.
+///
+/// Threading: one OnlineJobRun per (job, predictor instance). The stage
+/// methods may run on different pool workers, but calls must honor the
+/// executor's edges — per stage strictly ascending checkpoints, and the
+/// cross-stage edges documented on each method. step() (all four inline) is
+/// the fully serialized special case.
 class OnlineJobRun {
  public:
   /// Binds to a job and a fresh predictor (both must outlive the run) and
@@ -62,15 +83,43 @@ class OnlineJobRun {
   OnlineJobRun(const trace::Job& job, core::StragglerPredictor& predictor,
                double pct = 90.0);
 
-  /// Checkpoints remaining?
-  bool done() const { return !replay_.has_next(); }
+  /// Checkpoints remaining (i.e. flag() not yet called for the last one)?
+  bool done() const { return flagged_through_ >= checkpoint_count_; }
 
   /// Index of the checkpoint the next step() will process.
   std::size_t next_checkpoint() const;
 
-  /// Processes the next checkpoint and returns the tasks newly flagged at it
-  /// (valid until the next step()).
+  /// Processes the next checkpoint — the four stages below, back to back —
+  /// and returns the tasks newly flagged at it (valid until the next step()).
   std::span<const std::size_t> step();
+
+  // ---- the pipeline stages ------------------------------------------------
+  // Each takes the checkpoint index (strictly ascending per stage, no gaps)
+  // and the checkpoint's scratch cell; the same cell must flow through all
+  // four stages of one checkpoint. Concurrency limits are exactly the
+  // executor's edges (core/task_dag.h).
+
+  /// Stage 1 — binds the checkpoint view into the cell and runs the
+  /// predictor's featurize hook (block staging; a no-op for monolithic
+  /// methods). May run while refit/predict/flag of checkpoints < t are
+  /// still in flight, up to the executor's featurize-ahead bound.
+  void featurize(std::size_t t, CheckpointScratch* scratch);
+
+  /// Stage 2 — computes the candidate set (running tasks unflagged through
+  /// t-1; requires predict(t-1) retired) and runs the predictor's refit
+  /// hook with it, replicating the monolithic skip guards.
+  void refit(std::size_t t, CheckpointScratch* scratch);
+
+  /// Stage 3 — predict_stragglers on the candidates (a staged predictor
+  /// only scores here; a monolithic one does all its work) and records the
+  /// flags permanently. Requires flag(t-1) retired (it writes the record
+  /// flag(t-1) reads).
+  void predict(std::size_t t, CheckpointScratch* scratch);
+
+  /// Stage 4 — cumulative confusion accounting; populates `final` on the
+  /// last checkpoint. Returns the newly flagged tasks (valid while the cell
+  /// is). Never blocks the next refit — that is the executor's non-edge.
+  std::span<const std::size_t> flag(std::size_t t, CheckpointScratch* scratch);
 
   /// The accumulated record; `final` is populated once done().
   const JobRunResult& result() const { return result_; }
@@ -83,9 +132,15 @@ class OnlineJobRun {
   core::StragglerPredictor* predictor_;
   std::vector<int> labels_;
   std::optional<core::OfflineSample> offline_;
-  trace::Replay replay_;
-  std::vector<std::size_t> candidates_;  ///< reused per-checkpoint scratch
-  std::vector<std::size_t> newly_flagged_;
+  std::size_t checkpoint_count_ = 0;
+  // Per-stage cursors: the next checkpoint each stage expects. Between
+  // step() calls all four agree; under the executor they fan out by at most
+  // the in-flight window.
+  std::size_t featurized_through_ = 0;
+  std::size_t refitted_through_ = 0;
+  std::size_t predicted_through_ = 0;
+  std::size_t flagged_through_ = 0;
+  CheckpointScratch step_scratch_;  ///< the batch path's single cell
   JobRunResult result_;
 };
 

@@ -1,6 +1,8 @@
 #include "serve/stream_monitor.h"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
@@ -13,6 +15,7 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "core/task_dag.h"
 
 namespace nurd::serve {
 
@@ -39,10 +42,11 @@ struct StreamMonitor::Impl {
     std::uint32_t checkpoint = 0;
   };
 
-  // A job's serial lane: its managed predictor session plus the admitted
-  // events waiting for it. `scheduled` is the per-job ordering guarantee —
-  // at most one pool task drains a lane at a time, so checkpoint t+1 can
-  // never overtake t.
+  // A job's managed serving session: predictor + harness stepper + the
+  // per-checkpoint scratch ring the DAG stages hand off through (cell
+  // t % window; reuse is safe under the executor's window edge). The
+  // pending/scheduled pair only serves ExecutorMode::kSerialLanes, where a
+  // job is a serial lane drained by at most one pool task at a time.
   struct Admitted {
     double time = 0.0;
     std::uint32_t checkpoint = 0;
@@ -51,8 +55,9 @@ struct StreamMonitor::Impl {
   struct Lane {
     std::unique_ptr<core::StragglerPredictor> predictor;
     std::optional<eval::OnlineJobRun> run;
-    std::deque<Admitted> pending;
-    bool scheduled = false;
+    std::vector<eval::CheckpointScratch> ring;  ///< window cells
+    std::deque<Admitted> pending;               ///< kSerialLanes only
+    bool scheduled = false;                     ///< kSerialLanes only
   };
 
   Impl(std::span<const trace::Job> jobs, core::NamedPredictor method,
@@ -132,10 +137,56 @@ struct StreamMonitor::Impl {
     }
   }
 
-  // Drains one job's lane: processes admitted checkpoints strictly in order
-  // until the lane empties. The sink runs OUTSIDE the monitor mutex and
+  double event_time(std::size_t job, std::size_t t) const {
+    return arrivals_[job] + jobs_[job].trace.tau_run(t);
+  }
+
+  // Executes ONE pipeline stage of checkpoint `t` of `job`, timing its body
+  // into the per-stage busy counters. Every execution mode funnels through
+  // here — the serialized loop and the serial lanes run the four stages back
+  // to back, the DAG runs them as separate tasks — so the stage breakdown is
+  // populated identically everywhere. The Flag stage is where decisions
+  // leave the monitor: the sink runs here, OUTSIDE the monitor mutex and
   // BEFORE the event's time leaves the in-flight set, so low_watermark()
   // cannot pass a flag that is still being delivered.
+  void run_stage(std::size_t job, std::size_t t, core::Stage stage) {
+    Lane& lane = lanes_[job];
+    eval::CheckpointScratch& cell = lane.ring[t % lane.ring.size()];
+    const auto began = Clock::now();
+    switch (stage) {
+      case core::Stage::kFeaturize:
+        lane.run->featurize(t, &cell);
+        break;
+      case core::Stage::kRefit:
+        lane.run->refit(t, &cell);
+        break;
+      case core::Stage::kPredict:
+        lane.run->predict(t, &cell);
+        break;
+      case core::Stage::kFlag: {
+        const auto flagged = lane.run->flag(t, &cell);
+        if (!flagged.empty()) {
+          if (config_.sink) {
+            const double time = event_time(job, t);
+            for (auto task : flagged) config_.sink({job, task, t, time});
+          }
+          std::lock_guard<std::mutex> lock(mutex_);
+          flags_ += flagged.size();
+        }
+        break;
+      }
+    }
+    stage_nanos_[static_cast<std::size_t>(stage)].fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - began)
+                .count()),
+        std::memory_order_relaxed);
+  }
+
+  // Drains one job's lane (serialized and kSerialLanes modes): processes
+  // admitted checkpoints strictly in order — all four stages back to back —
+  // until the lane empties.
   void drain_lane(std::size_t job) {
     Lane& lane = lanes_[job];
     for (;;) {
@@ -151,16 +202,11 @@ struct StreamMonitor::Impl {
         lane.pending.pop_front();
       }
 
-      std::size_t emitted = 0;
       try {
         NURD_CHECK(lane.run->next_checkpoint() == ev.checkpoint,
                    "lane processed a checkpoint out of order");
-        const auto flagged = lane.run->step();
-        emitted = flagged.size();
-        if (config_.sink) {
-          for (auto task : flagged) {
-            config_.sink({job, task, ev.checkpoint, ev.time});
-          }
+        for (std::size_t s = 0; s < core::kStageCount; ++s) {
+          run_stage(job, ev.checkpoint, static_cast<core::Stage>(s));
         }
       } catch (...) {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -177,10 +223,36 @@ struct StreamMonitor::Impl {
       {
         std::lock_guard<std::mutex> lock(mutex_);
         latencies_.push_back(latency);
-        flags_ += emitted;
         ++processed_;
         retire_locked(ev.time);
       }
+    }
+  }
+
+  // DAG-mode admission: the event accounting runs under the mutex, the
+  // executor admit OUTSIDE it (the executor's callbacks take mutex_
+  // themselves). A refused admit — the job was cancelled by an earlier stage
+  // error — retires the event immediately so the in-flight count still
+  // drains to zero.
+  void admit_dag(const IngestEvent& ev, core::TaskDag& dag) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] {
+        return inflight_ < cap_ || error_ != nullptr;
+      });
+      if (error_) return;  // stop admitting; run() rethrows after the drain
+      ++inflight_;
+      inflight_times_.insert(ev.time);
+      peak_backlog_ = std::max(peak_backlog_, inflight_);
+      ++next_event_;
+      next_ingest_time_ = next_event_ < events_.size()
+                              ? events_[next_event_].time
+                              : std::numeric_limits<double>::infinity();
+      admitted_at_[ev.job][ev.checkpoint] = Clock::now();
+    }
+    if (!dag.admit(ev.job, ev.checkpoint)) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      retire_locked(ev.time);
     }
   }
 
@@ -209,30 +281,84 @@ struct StreamMonitor::Impl {
 
     // Managed sessions: one fresh predictor + one OnlineJobRun per job. The
     // stepper is the run_job protocol itself, so serialized serving is
-    // bit-identical to the batch harness by construction.
+    // bit-identical to the batch harness by construction. The DAG path needs
+    // one scratch cell per in-flight checkpoint of a job (the executor's
+    // window edge makes cell t % window reuse-safe); the serialized paths
+    // run one checkpoint at a time and reuse a single cell.
+    NURD_CHECK(config_.window >= 1, "window must be at least 1");
+    const bool use_dag =
+        config_.executor == ExecutorMode::kDag && lanes > 1;
     lanes_.resize(jobs_.size());
     for (std::size_t j = 0; j < jobs_.size(); ++j) {
       lanes_[j].predictor = method_.make();
       lanes_[j].run.emplace(jobs_[j], *lanes_[j].predictor, config_.pct);
+      lanes_[j].ring.resize(use_dag ? config_.window : 1);
+    }
+    if (use_dag) {
+      admitted_at_.resize(jobs_.size());
+      for (std::size_t j = 0; j < jobs_.size(); ++j) {
+        admitted_at_[j].resize(jobs_[j].checkpoint_count());
+      }
     }
 
     // Serialized (threads == 1): no pool — each event is admitted and its
     // lane drained inline, in global event-time order. Concurrent: a private
-    // pool of `lanes` workers runs the drains; this thread only admits.
+    // pool of `lanes` workers runs the stage work — as pipelined DAG tasks
+    // (default) or as monolithic per-lane drains (kSerialLanes, the
+    // baseline) — and this thread only admits. The dag is declared after the
+    // pool so it is destroyed FIRST (its pumps run on the pool).
     std::optional<ThreadPool> pool;
+    std::optional<core::TaskDag> dag;
     if (lanes > 1) pool.emplace(lanes);
+    if (use_dag) {
+      core::TaskDagConfig dag_config;
+      dag_config.workers = lanes;
+      dag_config.window = config_.window;
+      dag_config.featurize_ahead = std::min<std::size_t>(2, config_.window);
+      dag.emplace(
+          jobs_.size(), dag_config,
+          [this](const core::TaskKey& k) {
+            run_stage(k.job, k.checkpoint, k.stage);
+          },
+          [this](std::size_t job, std::size_t ckpt, bool completed) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (completed) {
+              latencies_.push_back(
+                  std::chrono::duration<double>(Clock::now() -
+                                                admitted_at_[job][ckpt])
+                      .count());
+              ++processed_;
+            }
+            retire_locked(event_time(job, ckpt));
+          },
+          [this](std::size_t, std::exception_ptr e) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!error_) error_ = e;
+            cv_.notify_all();
+          });
+      dag->start(*pool);
+    }
 
     const auto start = Clock::now();
     for (const IngestEvent& ev : events_) {
-      admit(ev, pool ? &*pool : nullptr);
+      if (dag) {
+        admit_dag(ev, *dag);
+      } else {
+        admit(ev, pool ? &*pool : nullptr);
+      }
       {
         std::lock_guard<std::mutex> lock(mutex_);
         if (error_) break;
       }
     }
+    if (dag) dag->close();
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [&] { return inflight_ == 0; });
+    }
+    if (dag) dag->wait();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
       if (error_) std::rethrow_exception(error_);
     }
     const double wall =
@@ -254,6 +380,12 @@ struct StreamMonitor::Impl {
     std::sort(latencies_.begin(), latencies_.end());
     s.p50_latency_ms = percentile_ms(latencies_, 0.50);
     s.p99_latency_ms = percentile_ms(latencies_, 0.99);
+    for (std::size_t i = 0; i < core::kStageCount; ++i) {
+      s.stage_seconds[i] =
+          static_cast<double>(
+              stage_nanos_[i].load(std::memory_order_relaxed)) *
+          1e-9;
+    }
     return result;
   }
 
@@ -277,6 +409,12 @@ struct StreamMonitor::Impl {
   std::size_t flags_ = 0;
   std::vector<double> latencies_;  ///< seconds, unsorted until run() ends
   std::exception_ptr error_;
+
+  /// DAG mode: admission wall-clock per (job, checkpoint), stamped under
+  /// mutex_ at admit and read under mutex_ at retire.
+  std::vector<std::vector<Clock::time_point>> admitted_at_;
+  /// Cumulative busy nanoseconds per pipeline stage, across all workers.
+  std::array<std::atomic<std::uint64_t>, core::kStageCount> stage_nanos_{};
 };
 
 StreamMonitor::StreamMonitor(std::span<const trace::Job> jobs,

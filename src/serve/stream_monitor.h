@@ -17,10 +17,15 @@
 //     simulator's processes), each checkpoint's event time is
 //     arrival + τrun, and the merged queue is admitted in ascending event
 //     time under a bounded in-flight window;
-//   * refits dispatch as detached pool tasks with a PER-JOB ORDERING
-//     GUARANTEE: a job's checkpoint t+1 never overtakes t (each job is a
-//     serial lane drained by at most one pool task at a time), while
-//     different jobs proceed independently across lanes;
+//   * admitted checkpoints execute on the task-DAG executor
+//     (core/task_dag.h): each checkpoint is four stage tasks — featurize →
+//     refit → predict → flag — and the executor's edges give the PER-JOB
+//     ORDERING GUARANTEE the models need: checkpoint t+1's refit never
+//     observes state newer than checkpoint t's model (the refit chain), and
+//     flag emission order within a job follows checkpoint order. Unlike the
+//     serial lanes this replaced, stages of DIFFERENT checkpoints of the
+//     same job overlap — checkpoint t+1 featurizes while t refits — which
+//     is where the tail-latency win at high concurrency comes from;
 //   * every flag decision is pushed to a caller-provided FlagSink the moment
 //     the predictor emits it — serve::LiveClusterFeed forwards them into the
 //     event-driven cluster simulator so predictions drive relaunch decisions
@@ -31,10 +36,12 @@
 //     event-time order; the emitted flags and per-job records are
 //     BIT-IDENTICAL to eval::run_method over the same jobs — serving is the
 //     batch harness re-scheduled, never a second implementation;
-//   * any thread count produces bit-identical per-job records (each lane's
-//     computation depends only on its own stream; every parallel loop below
-//     a lane honors the ThreadPool determinism contract), so the flag SET is
-//     identical at 1, 4, or 16 lanes — only sink emission ORDER varies;
+//   * any thread count and either executor produce bit-identical per-job
+//     records: the executor decides only WHEN stage tasks run, never what
+//     they compute (its edges are the data dependencies; every parallel
+//     loop below a stage honors the ThreadPool determinism contract), so
+//     the flag SET is identical at 1, 4, or 16 workers — only sink emission
+//     ORDER across jobs varies;
 //   * the wall-clock stats (latency percentiles, backlog, throughput) are of
 //     course run-dependent; everything else is reproducible from the seeds.
 //
@@ -45,6 +52,7 @@
 // low_watermark() is safe from any thread (sinks query it mid-run).
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -69,22 +77,41 @@ struct FlagDecision {
   double time = 0.0;           ///< simulated event time: arrival + τrun(cp)
 };
 
-/// Flag sink. Invoked from pool lanes while run() is in progress: calls for
-/// one job arrive in checkpoint order; calls for different jobs may be
-/// concurrent — implementations synchronize (see serve::LiveClusterFeed).
+/// Flag sink. Invoked from pool workers (inside the Flag stage) while run()
+/// is in progress: calls for one job arrive in checkpoint order; calls for
+/// different jobs may be concurrent — implementations synchronize (see
+/// serve::LiveClusterFeed).
 using FlagSink = std::function<void(const FlagDecision&)>;
+
+/// Which concurrent executor run() schedules stage work on. Irrelevant at
+/// threads == 1 (always the inline serialized loop).
+enum class ExecutorMode {
+  /// The task-DAG pipeline (core/task_dag.h): per-checkpoint stages with
+  /// explicit edges; stages of different checkpoints of one job overlap.
+  kDag,
+  /// The per-job serial lanes the DAG replaced — one monolithic step per
+  /// checkpoint, one drain task per job at a time. Kept as the baseline
+  /// bench_serve compares DAG tail latency against.
+  kSerialLanes,
+};
 
 struct StreamMonitorConfig {
   /// Straggler percentile (the harness's pct parameter).
   double pct = 90.0;
-  /// Serving lanes: 1 (default) = fully serialized on the calling thread in
-  /// global event order — the bit-parity reference; 0 = hardware
-  /// concurrency; N = a pool of N lanes.
+  /// Serving workers: 1 (default) = fully serialized on the calling thread
+  /// in global event order — the bit-parity reference; 0 = hardware
+  /// concurrency; N = a pool of N workers.
   std::size_t threads = 1;
   /// Admission bound: at most this many checkpoint events in flight
-  /// (admitted to lanes, not yet processed). 0 = 4 lanes' worth. Backlog and
+  /// (admitted, not yet retired). 0 = 4 workers' worth. Backlog and
   /// decision latency are measured against this window.
   std::size_t max_inflight = 0;
+  /// Concurrent executor (see ExecutorMode).
+  ExecutorMode executor = ExecutorMode::kDag;
+  /// Per-job in-flight window of the DAG executor: at most this many
+  /// checkpoints of ONE job have stages in flight at once (the scratch-cell
+  /// ring bound; core/task_dag.h). At least 2 to overlap at all.
+  std::size_t window = 4;
   /// Per-job arrival offsets (null = sched::batch_arrivals(), everything at
   /// t = 0). Drawn once at construction from `arrival_seed`.
   sched::ArrivalProcess arrivals;
@@ -103,14 +130,19 @@ struct ServeStats {
   std::size_t jobs = 0;
   std::size_t checkpoints = 0;  ///< events processed
   std::size_t flags = 0;        ///< decisions emitted
-  std::size_t lanes = 0;        ///< executor lanes used
+  std::size_t lanes = 0;        ///< executor workers used
   std::size_t peak_backlog = 0;  ///< max events in flight at once
   double wall_seconds = 0.0;
   double checkpoints_per_sec = 0.0;
-  /// Decision latency: admission of a checkpoint event to its flags being
-  /// emitted (queue wait + refit + predict), per event.
+  /// Decision latency: admission of a checkpoint event to its checkpoint
+  /// retiring (queue wait + all four stages, flags emitted), per event.
   double p50_latency_ms = 0.0;
   double p99_latency_ms = 0.0;
+  /// Cumulative busy time per pipeline stage (featurize, refit, predict,
+  /// flag — indexed by core::Stage), summed across workers. Together with
+  /// wall_seconds this is the stage share of the run: with S workers,
+  /// sum(stage_seconds) / (S * wall_seconds) is executor utilization.
+  std::array<double, 4> stage_seconds{};
 };
 
 /// Outcome of one serving run.

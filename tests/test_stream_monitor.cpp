@@ -1,6 +1,7 @@
 // The serving layer's three contracts (stream_monitor.h):
 //   * serialized serving is bit-identical to the batch harness;
-//   * any thread count produces the same per-job records and flag set;
+//   * any worker count and either executor (task-DAG pipeline or the serial
+//     lanes baseline) produce the same per-job records and flag set;
 //   * the live cluster feed is a deterministic function of the flag set,
 //     identical to posting the same flags up front.
 #include "serve/stream_monitor.h"
@@ -13,6 +14,7 @@
 #include <vector>
 
 #include "core/registry.h"
+#include "core/task_dag.h"
 #include "eval/harness.h"
 #include "serve/cluster_sink.h"
 #include "trace/generator.h"
@@ -104,7 +106,10 @@ TEST(StreamMonitor, SerializedIsBitIdenticalToRunMethod) {
   }
 }
 
-TEST(StreamMonitor, ThreadCountDoesNotChangeRunsOrFlagSet) {
+// The acceptance pin: ordering (RecordingSink asserts per-job checkpoint
+// order on every delivery) and determinism (records + flag set) at 1, 4 and
+// 16 workers, on the DAG executor that serves by default.
+TEST(StreamMonitor, WorkerCountDoesNotChangeRunsOrFlagSet) {
   const auto jobs = generated_jobs(6, /*seed=*/3);
   const auto method = method_by_name("HBOS");
 
@@ -114,9 +119,10 @@ TEST(StreamMonitor, ThreadCountDoesNotChangeRunsOrFlagSet) {
   serial.sink = serial_sink.sink();
   const auto reference = StreamMonitor(jobs, method, serial).run();
 
-  for (std::size_t threads : {2u, 4u, 8u}) {
+  for (std::size_t threads : {4u, 16u}) {
     StreamMonitorConfig config;
     config.threads = threads;
+    ASSERT_EQ(config.executor, ExecutorMode::kDag);  // the default
     RecordingSink sink(jobs.size());
     config.sink = sink.sink();
     StreamMonitor monitor(jobs, method, config);
@@ -124,9 +130,58 @@ TEST(StreamMonitor, ThreadCountDoesNotChangeRunsOrFlagSet) {
 
     expect_runs_identical(served.runs, reference.runs);
     EXPECT_EQ(sink.flag_set(), serial_sink.flag_set())
-        << "flag set drifted at " << threads << " lanes";
+        << "flag set drifted at " << threads << " workers";
     EXPECT_EQ(served.stats.checkpoints, reference.stats.checkpoints);
     EXPECT_EQ(served.stats.flags, reference.stats.flags);
+  }
+}
+
+// Same pin for the serial-lanes baseline executor, and cross-executor: DAG
+// and lanes must agree bit-for-bit with each other and with serialized.
+TEST(StreamMonitor, ExecutorModeDoesNotChangeRunsOrFlagSet) {
+  const auto jobs = generated_jobs(5, /*seed=*/21);
+  const auto method = method_by_name("GBTR");  // a staged, warm-started method
+
+  StreamMonitorConfig serial;
+  serial.threads = 1;
+  RecordingSink serial_sink(jobs.size());
+  serial.sink = serial_sink.sink();
+  const auto reference = StreamMonitor(jobs, method, serial).run();
+
+  for (ExecutorMode executor : {ExecutorMode::kDag, ExecutorMode::kSerialLanes}) {
+    StreamMonitorConfig config;
+    config.threads = 4;
+    config.executor = executor;
+    RecordingSink sink(jobs.size());
+    config.sink = sink.sink();
+    StreamMonitor monitor(jobs, method, config);
+    const auto served = monitor.run();
+
+    SCOPED_TRACE(executor == ExecutorMode::kDag ? "kDag" : "kSerialLanes");
+    expect_runs_identical(served.runs, reference.runs);
+    EXPECT_EQ(sink.flag_set(), serial_sink.flag_set());
+  }
+}
+
+// The window bounds how far the pipeline runs ahead, never what it computes:
+// the minimum overlapping window (2) and a fully serializing window (1)
+// both reproduce the reference records.
+TEST(StreamMonitor, WindowSizeDoesNotChangeRuns) {
+  const auto jobs = generated_jobs(4, /*seed=*/27);
+  const auto method = method_by_name("HBOS");
+
+  StreamMonitorConfig serial;
+  serial.threads = 1;
+  const auto reference = StreamMonitor(jobs, method, serial).run();
+
+  for (std::size_t window : {1u, 2u, 8u}) {
+    StreamMonitorConfig config;
+    config.threads = 4;
+    config.window = window;
+    StreamMonitor monitor(jobs, method, config);
+    const auto served = monitor.run();
+    SCOPED_TRACE(window);
+    expect_runs_identical(served.runs, reference.runs);
   }
 }
 
@@ -171,6 +226,11 @@ TEST(StreamMonitor, StatsCoverEveryCheckpoint) {
   EXPECT_GT(served.stats.checkpoints_per_sec, 0.0);
   EXPECT_GE(served.stats.p99_latency_ms, served.stats.p50_latency_ms);
   EXPECT_GE(served.stats.peak_backlog, 1u);
+  // Every stage body ran at least once, so every stage accumulated time.
+  for (std::size_t i = 0; i < core::kStageCount; ++i) {
+    EXPECT_GT(served.stats.stage_seconds[i], 0.0) << core::stage_name(
+        static_cast<core::Stage>(i));
+  }
 }
 
 TEST(StreamMonitor, RunTwiceThrows) {

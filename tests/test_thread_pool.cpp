@@ -1,0 +1,144 @@
+// ThreadPool contracts the serving executors lean on:
+//   * parallel_for determinism and nested-degradation basics;
+//   * detached submit() hardening — an exception escaping a detached task
+//     poisons the pool instead of terminating the process, and the next
+//     enqueue (submit or parallel_for) rethrows it on the caller;
+//   * shutdown drains detached tasks: every task enqueued before the
+//     destructor runs to completion before the workers join.
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace nurd {
+namespace {
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(hits.size(),
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroWorkerPoolRunsSubmitInline) {
+  ThreadPool pool(0);
+  bool ran = false;
+  pool.submit([&] { ran = true; });
+  EXPECT_TRUE(ran);  // inline on the caller, complete before submit returns
+}
+
+TEST(ThreadPool, DetachedExceptionPoisonsAndNextSubmitRethrows) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("detached boom"); });
+  // Poisoning is asynchronous: wait for the task to actually run.
+  for (int spin = 0; spin < 2000 && !pool.poisoned(); ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(pool.poisoned());
+  EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+  // Surfacing clears the poison: the pool is usable again.
+  EXPECT_FALSE(pool.poisoned());
+  std::atomic<bool> ran{false};
+  pool.submit([&] { ran.store(true); });
+  for (int spin = 0; spin < 2000 && !ran.load(); ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, DetachedExceptionSurfacesThroughParallelFor) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::invalid_argument("poison via loop"); });
+  for (int spin = 0; spin < 2000 && !pool.poisoned(); ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(pool.poisoned());
+  EXPECT_THROW(pool.parallel_for(4, [](std::size_t) {}),
+               std::invalid_argument);
+  // After surfacing, loops run normally.
+  std::atomic<int> sum{0};
+  pool.parallel_for(8, [&](std::size_t i) {
+    sum.fetch_add(static_cast<int>(i));
+  });
+  EXPECT_EQ(sum.load(), 28);
+}
+
+TEST(ThreadPool, OnlyTheFirstDetachedExceptionIsKept) {
+  ThreadPool pool(1);  // one worker serializes the detached tasks
+  // A gate holds the worker so every enqueue below happens before either
+  // thrower runs — submit() itself surfaces pending poison, so enqueueing
+  // after a throw had already landed would rethrow it right here.
+  std::atomic<bool> release{false};
+  std::atomic<bool> drained{false};
+  pool.submit([&] {
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  pool.submit([] { throw std::runtime_error("first"); });
+  pool.submit([] { throw std::logic_error("second"); });
+  pool.submit([&] { drained.store(true); });
+  release.store(true);
+  for (int spin = 0; spin < 2000 && !drained.load(); ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Both throwers have run; the poison must be "first", "second" dropped.
+  ASSERT_TRUE(pool.poisoned());
+  try {
+    pool.submit([] {});
+    FAIL() << "poison did not surface";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+  EXPECT_FALSE(pool.poisoned());
+}
+
+// The regression pinned here: destroying a pool with detached tasks still
+// queued must run them all before joining (shutdown DRAINS, it does not
+// drop). The serving layer counts in-flight work itself and relies on every
+// submitted drain eventually executing.
+TEST(ThreadPool, ShutdownDrainsQueuedDetachedTasks) {
+  std::atomic<int> completed{0};
+  constexpr int kTasks = 64;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < kTasks; ++i) {
+      pool.submit([&] {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        completed.fetch_add(1);
+      });
+    }
+    // Destructor runs here with most tasks still queued.
+  }
+  EXPECT_EQ(completed.load(), kTasks);
+}
+
+TEST(ThreadPool, ShutdownDrainEvenWithPoisonPending) {
+  std::atomic<int> completed{0};
+  std::atomic<bool> release{false};
+  {
+    ThreadPool pool(1);
+    // Gate the worker so no enqueue below can observe (and surface) the
+    // poison — the point is that the DESTRUCTOR meets it, not submit().
+    pool.submit([&] {
+      while (!release.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+    pool.submit([] { throw std::runtime_error("never surfaced"); });
+    for (int i = 0; i < 8; ++i) {
+      pool.submit([&] { completed.fetch_add(1); });
+    }
+    release.store(true);
+  }  // destructor must neither throw nor drop the queue
+  EXPECT_EQ(completed.load(), 8);
+}
+
+}  // namespace
+}  // namespace nurd
