@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Verifies that every C++ file under src/ and tests/ is clang-format-clean
+# per the checked-in .clang-format. Read-only: prints a diff per offending
+# file and exits 1; never rewrites the tree (run clang-format -i yourself).
+#
+#   scripts/check_format.sh             # skip politely if no clang-format
+#   scripts/check_format.sh --require   # CI mode: missing tool is a failure
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+require=0
+[[ "${1:-}" == "--require" ]] && require=1
+
+tool=""
+for cand in clang-format clang-format-19 clang-format-18 clang-format-17 \
+            clang-format-16 clang-format-15 clang-format-14; do
+  if command -v "$cand" >/dev/null 2>&1; then tool="$cand"; break; fi
+done
+
+if [[ -z "$tool" ]]; then
+  if [[ "$require" == 1 ]]; then
+    echo "check_format: clang-format not found and --require set" >&2
+    exit 2
+  fi
+  echo "check_format: SKIPPED (no clang-format on PATH; the CI leg enforces)"
+  exit 0
+fi
+
+bad=0
+while IFS= read -r -d '' f; do
+  if ! diff -u "$f" <("$tool" --style=file "$f") \
+       --label "$f (on disk)" --label "$f (clang-format)"; then
+    bad=1
+  fi
+done < <(find src tests \( -name '*.cpp' -o -name '*.h' \) -print0 | sort -z)
+
+if [[ "$bad" == 1 ]]; then
+  echo "check_format: files above are not clang-format-clean" >&2
+  exit 1
+fi
+echo "check_format: clean ($tool)"

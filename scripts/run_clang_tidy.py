@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""clang-tidy driver with a baseline: the repo's second static-analysis leg.
+
+Runs clang-tidy (config: the checked-in .clang-tidy) over every src/ entry of
+a compile_commands.json, parses the findings, and compares them against
+scripts/clang_tidy_baseline.json. The job FAILS on any finding not covered by
+the baseline, so new code must land tidy-clean while pre-existing debt (if
+any is ever baselined) cannot silently grow. With the shipped EMPTY baseline
+this is simply "src/ is tidy-clean".
+
+Baseline format — a JSON object mapping "relative/file.cpp:check-name" to an
+allowed count. Line numbers are deliberately NOT part of the key (they drift
+with every edit); a count regression on an existing key also fails.
+
+  python3 scripts/run_clang_tidy.py --build build            # check
+  python3 scripts/run_clang_tidy.py --build build --update-baseline
+
+Tool discovery tries clang-tidy, then clang-tidy-19..14. When no binary
+exists the script exits 0 with a SKIPPED notice by default (local boxes
+without LLVM must not fail the `lint` target) or exits 2 under --require
+(the CI leg, where absence means a broken job, not a clean one).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import os
+import re
+import shutil
+import subprocess
+import sys
+from collections import Counter
+
+FINDING_RE = re.compile(
+    r"^(?P<file>[^\s:][^:]*):(?P<line>\d+):(?P<col>\d+): "
+    r"(?:warning|error): (?P<msg>.*?) \[(?P<check>[\w.,-]+)\]$")
+
+
+def find_clang_tidy() -> str | None:
+    candidates = ["clang-tidy"] + [f"clang-tidy-{v}" for v in
+                                   range(19, 13, -1)]
+    for name in candidates:
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def compile_db_entries(build_dir: str, root: str) -> list[str]:
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(db_path):
+        sys.exit(f"error: {db_path} not found — configure with "
+                 f"-DCMAKE_EXPORT_COMPILE_COMMANDS=ON")
+    with open(db_path, encoding="utf-8") as f:
+        db = json.load(f)
+    src_prefix = os.path.join(os.path.abspath(root), "src") + os.sep
+    files = sorted({os.path.abspath(e["file"]) for e in db
+                    if os.path.abspath(e["file"]).startswith(src_prefix)})
+    return files
+
+
+def run_tidy(tool: str, build_dir: str, files: list[str],
+             jobs: int) -> list[tuple[str, str]]:
+    """Returns (relative_file, check) per finding, deduplicated per location
+    (clang-tidy repeats header findings once per including TU)."""
+    seen_locations = set()
+    findings: list[tuple[str, str]] = []
+
+    def tidy_one(path: str) -> str:
+        proc = subprocess.run(
+            [tool, "-p", build_dir, "--quiet", path],
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True)
+        return proc.stdout
+
+    with multiprocessing.pool.ThreadPool(jobs) as pool:
+        outputs = pool.map(tidy_one, files)
+
+    root = os.getcwd()
+    for output in outputs:
+        for line in output.splitlines():
+            m = FINDING_RE.match(line)
+            if not m:
+                continue
+            abs_file = os.path.abspath(m.group("file"))
+            rel = os.path.relpath(abs_file, root)
+            if rel.startswith(".."):
+                continue  # system/third-party header
+            for check in m.group("check").split(","):
+                loc = (rel, m.group("line"), m.group("col"), check)
+                if loc in seen_locations:
+                    continue
+                seen_locations.add(loc)
+                findings.append((rel, check))
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build", default="build",
+                        help="build dir holding compile_commands.json")
+    parser.add_argument("--baseline",
+                        default="scripts/clang_tidy_baseline.json")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from this run's findings")
+    parser.add_argument("--require", action="store_true",
+                        help="fail (exit 2) when clang-tidy is missing "
+                             "instead of skipping (the CI mode)")
+    parser.add_argument("-j", "--jobs", type=int,
+                        default=max(1, (os.cpu_count() or 2) - 1))
+    args = parser.parse_args(argv)
+
+    tool = find_clang_tidy()
+    if tool is None:
+        if args.require:
+            print("error: clang-tidy not found and --require set",
+                  file=sys.stderr)
+            return 2
+        print("run_clang_tidy: SKIPPED (no clang-tidy binary on PATH; "
+              "install LLVM or rely on the CI leg)")
+        return 0
+
+    files = compile_db_entries(args.build, os.getcwd())
+    if not files:
+        sys.exit("error: no src/ entries in the compilation database")
+    print(f"run_clang_tidy: {tool} over {len(files)} files "
+          f"({args.jobs} jobs)")
+
+    counts = Counter(f"{rel}:{check}"
+                     for rel, check in run_tidy(tool, args.build, files,
+                                                args.jobs))
+
+    if args.update_baseline:
+        with open(args.baseline, "w", encoding="utf-8") as f:
+            json.dump(dict(sorted(counts.items())), f, indent=2)
+            f.write("\n")
+        print(f"run_clang_tidy: baseline rewritten with "
+              f"{sum(counts.values())} finding(s) in {len(counts)} key(s)")
+        return 0
+
+    baseline: dict[str, int] = {}
+    if os.path.exists(args.baseline):
+        with open(args.baseline, encoding="utf-8") as f:
+            baseline = json.load(f)
+
+    regressions = []
+    for key, n in sorted(counts.items()):
+        allowed = baseline.get(key, 0)
+        if n > allowed:
+            regressions.append(f"  {key}: {n} finding(s), baseline allows "
+                               f"{allowed}")
+    stale = [key for key in baseline if key not in counts]
+
+    if regressions:
+        print("run_clang_tidy: NEW findings over the baseline:")
+        print("\n".join(regressions))
+        print("fix them (preferred) or, for accepted debt, re-run with "
+              "--update-baseline and justify the diff in review")
+        return 1
+    if stale:
+        print("run_clang_tidy: stale baseline keys (debt was paid off — "
+              "shrink the baseline):")
+        for key in stale:
+            print(f"  {key}")
+        return 1
+    print(f"run_clang_tidy: clean "
+          f"({sum(counts.values())} finding(s), all baselined)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,13 @@
+// Fixture: a privileged trace access that the test's allowlist covers. The
+// finding must be suppressed when the allowlist entry is present and
+// reported when it is not.
+struct FakeView {
+  struct S {
+    int checkpoint_count() const { return 7; }
+  } s;
+  const S& store() const { return s; }
+};
+
+int refresh_grid(const FakeView& view) {
+  return view.store().checkpoint_count();  // allowlisted in the test
+}

@@ -1,0 +1,17 @@
+// Fixture: wall-clock reads inside a deterministic path. Every marked line
+// must produce a [wall-clock] finding.
+#include <chrono>
+#include <cstdlib>
+
+double jitter() {
+  auto now = std::chrono::steady_clock::now();  // BAD: wall clock in core
+  (void)now;
+  return static_cast<double>(std::rand());  // BAD: global C RNG
+}
+
+const char* knob() {
+  return std::getenv("NURD_SECRET_KNOB");  // BAD: global process state
+}
+
+// A comment mentioning std::chrono::system_clock must NOT fire.
+const char* doc = "std::rand in a string literal must not fire either";

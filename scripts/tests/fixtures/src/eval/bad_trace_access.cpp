@@ -1,0 +1,18 @@
+// Fixture: online-discipline violations — reaching through the predictor
+// API into TraceStore/CheckpointView internals from the eval layer. Both
+// marked lines must produce [trace-access] findings.
+struct FakeStore {
+  int checkpoint_count() const { return 3; }
+  const double* latencies() const { return nullptr; }
+};
+struct FakeView {
+  FakeStore s;
+  const FakeStore& store() const { return s; }
+};
+
+int peek_everything(const FakeView& view) {
+  int grid = view.store().checkpoint_count();   // BAD: store escape hatch
+  const double* oracle = view.s.latencies();    // BAD: ground-truth oracle
+  (void)oracle;
+  return grid;
+}

@@ -1,0 +1,23 @@
+// Fixture: unordered-container iteration in a flag/metric path. The two
+// iteration sites must produce [unordered-iter] findings; keyed lookup and
+// ordered-map iteration must not.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+double accumulate_flags() {
+  std::unordered_map<int, double> flag_scores;
+  std::unordered_set<int> flagged;
+  flag_scores[3] = 1.0;
+  double total = flag_scores.at(3);           // OK: keyed lookup
+  for (const auto& kv : flag_scores) {        // BAD: unordered iteration
+    total += kv.second;
+  }
+  auto it = flagged.begin();                  // BAD: iterator walk
+  (void)it;
+  std::map<int, double> ordered;
+  ordered.emplace(3, total);
+  for (const auto& kv : ordered) total += kv.second;  // OK: ordered
+  return total;
+}

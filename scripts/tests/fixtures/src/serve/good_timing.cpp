@@ -1,0 +1,10 @@
+// Fixture: src/serve is OUTSIDE the deterministic-path rule — wall-clock
+// serving stats are the whole point of the layer. Must produce no
+// [wall-clock] finding.
+#include <chrono>
+
+double serving_latency_seconds() {
+  auto begin = std::chrono::steady_clock::now();
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - begin).count();
+}

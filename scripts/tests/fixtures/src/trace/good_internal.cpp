@@ -1,0 +1,11 @@
+// Fixture: src/trace/ is the trace layer itself — it may touch its own
+// internals freely. Must produce no [trace-access] finding.
+struct Store {
+  const double* latencies() const { return nullptr; }
+};
+struct View {
+  Store s;
+  const Store& store() const { return s; }
+};
+
+const double* internal_use(const View& v) { return v.store().latencies(); }

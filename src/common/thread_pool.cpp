@@ -15,16 +15,19 @@ thread_local bool g_in_pool_task = false;
 
 // Shared by the caller and every enqueued worker share of one parallel_for.
 // Indices are claimed through a single atomic counter, so each index runs
-// exactly once no matter how many shares end up executing.
+// exactly once no matter how many shares end up executing. The error slot is
+// guarded by the state's own mutex end to end: shares record under the lock,
+// the caller reads under the lock after the completion wait — the exception
+// hand-off is an annotated happens-before, not an inferred one.
 struct ThreadPool::LoopState {
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
   std::atomic<bool> failed{false};
   std::size_t count = 0;
   const std::function<void(std::size_t)>* fn = nullptr;
-  std::mutex mutex;
-  std::condition_variable cv;
-  std::exception_ptr error;  // written under mutex, read after the loop drains
+  Mutex mutex;
+  CondVar cv;
+  std::exception_ptr error NURD_GUARDED_BY(mutex);
 };
 
 ThreadPool::ThreadPool(std::size_t workers) {
@@ -36,7 +39,7 @@ ThreadPool::ThreadPool(std::size_t workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -47,8 +50,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stop_ && queue_.empty()) cv_.wait(mutex_);
       if (queue_.empty()) {
         if (stop_) return;
         continue;
@@ -70,7 +73,7 @@ void ThreadPool::run_share(const std::shared_ptr<LoopState>& state) {
       try {
         (*state->fn)(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(state->mutex);
+        MutexLock lock(state->mutex);
         if (!state->error) state->error = std::current_exception();
         state->failed.store(true, std::memory_order_relaxed);
       }
@@ -78,7 +81,7 @@ void ThreadPool::run_share(const std::shared_ptr<LoopState>& state) {
     if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
         state->count) {
       // Last index finished: wake the caller (it may be sleeping on cv).
-      std::lock_guard<std::mutex> lock(state->mutex);
+      MutexLock lock(state->mutex);
       state->cv.notify_all();
     }
   }
@@ -86,14 +89,14 @@ void ThreadPool::run_share(const std::shared_ptr<LoopState>& state) {
 }
 
 bool ThreadPool::poisoned() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return detached_error_ != nullptr;
 }
 
 void ThreadPool::surface_poison() {
   std::exception_ptr error;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (!detached_error_) return;
     std::swap(error, detached_error_);
   }
@@ -118,7 +121,7 @@ void ThreadPool::parallel_for(std::size_t count,
   // touching fn, so stale queue entries are harmless.
   const std::size_t shares = std::min(workers_.size(), count - 1);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (std::size_t s = 0; s < shares; ++s) {
       queue_.emplace_back([state] { run_share(state); });
     }
@@ -130,13 +133,19 @@ void ThreadPool::parallel_for(std::size_t count,
   }
 
   run_share(state);
+  // The completion wait and the error read share one locked region: a share
+  // that threw recorded state->error under state->mutex before its final
+  // done increment, so reading it here (same lock held) is the annotated
+  // version of the hand-off the old code left to the acq_rel counter alone.
+  std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(state->mutex);
-    state->cv.wait(lock, [&] {
-      return state->done.load(std::memory_order_acquire) == count;
-    });
+    MutexLock lock(state->mutex);
+    while (state->done.load(std::memory_order_acquire) != count) {
+      state->cv.wait(state->mutex);
+    }
+    error = state->error;
   }
-  if (state->error) std::rethrow_exception(state->error);
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::submit(std::function<void()> task) {
@@ -145,7 +154,9 @@ void ThreadPool::submit(std::function<void()> task) {
   // nested parallel_for calls stay serial (see the header: one lane per
   // submitted task). An exception escaping the task poisons the pool instead
   // of unwinding the worker thread (which would std::terminate the process
-  // with no diagnostic); the next enqueue surfaces it.
+  // with no diagnostic); the next enqueue surfaces it. Poison is recorded
+  // and surfaced under mutex_ (annotated), so the caller that observes it
+  // also observes everything the dying task wrote before throwing.
   auto wrapped = [this, task = std::move(task)] {
     struct FlagGuard {
       bool saved = g_in_pool_task;
@@ -155,7 +166,7 @@ void ThreadPool::submit(std::function<void()> task) {
     try {
       task();
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (!detached_error_) detached_error_ = std::current_exception();
     }
   };
@@ -164,7 +175,7 @@ void ThreadPool::submit(std::function<void()> task) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.emplace_back(std::move(wrapped));
   }
   cv_.notify_one();

@@ -15,16 +15,22 @@
 // degrades to a plain serial loop, and nested parallel_for calls from inside
 // a pool task can always make progress (the inner caller drains its own
 // indices) — no deadlock by construction.
+//
+// Lock discipline (compiler-checked via common/sync.h): mutex_ guards the
+// queue, the stop flag, and the detached-poison slot; it is a LEAF lock —
+// tasks always run with it released, so a task may freely call submit() or
+// parallel_for() on this pool again.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace nurd {
 
@@ -50,7 +56,8 @@ class ThreadPool {
   /// hardware, so nested fan-out would only oversubscribe it (e.g. harness
   /// job lanes each containing pool-hungry histogram fits).
   void parallel_for(std::size_t count,
-                    const std::function<void(std::size_t)>& fn);
+                    const std::function<void(std::size_t)>& fn)
+      NURD_EXCLUDES(mutex_);
 
   /// Enqueues a detached task for the workers and returns immediately — the
   /// serving layer's dispatch primitive (completion tracking stays with the
@@ -64,16 +71,18 @@ class ThreadPool {
   /// Unlike parallel_for, there is no completion channel. A detached task
   /// SHOULD keep its own try/catch and completion accounting (see the
   /// serving executors); an exception that does escape one does not unwind
-  /// the worker — the pool catches it, records the first such exception, and
-  /// enters a POISONED state: the next submit() or parallel_for() call
-  /// rethrows the recorded exception on the caller (and clears it, so the
-  /// pool stays usable afterwards). Destruction never throws; an unread
-  /// poison is dropped with the pool.
-  void submit(std::function<void()> task);
+  /// the worker — the pool catches it, records the first such exception
+  /// under mutex_, and enters a POISONED state: the next submit() or
+  /// parallel_for() call rethrows the recorded exception on the caller (and
+  /// clears it, so the pool stays usable afterwards). The poison write and
+  /// its surfacing read both happen under mutex_, so the hand-off is an
+  /// annotated happens-before, not a convention. Destruction never throws;
+  /// an unread poison is dropped with the pool.
+  void submit(std::function<void()> task) NURD_EXCLUDES(mutex_);
 
   /// True when a detached task died with an exception that no submit() or
   /// parallel_for() call has surfaced yet.
-  bool poisoned() const;
+  bool poisoned() const NURD_EXCLUDES(mutex_);
 
   /// Process-wide shared pool sized to the hardware: hardware_concurrency−1
   /// workers (the caller supplies the remaining lane), so a single-core
@@ -91,19 +100,20 @@ class ThreadPool {
  private:
   struct LoopState;
 
-  void worker_loop();
+  void worker_loop() NURD_EXCLUDES(mutex_);
   static void run_share(const std::shared_ptr<LoopState>& state);
 
   /// Rethrows (and clears) the recorded detached-task exception if one is
   /// pending; called at the poison surfacing points.
-  void surface_poison();
+  void surface_poison() NURD_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
-  std::exception_ptr detached_error_;  ///< first escapee; guarded by mutex_
+  mutable Mutex mutex_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ NURD_GUARDED_BY(mutex_);
+  bool stop_ NURD_GUARDED_BY(mutex_) = false;
+  /// First exception to escape a detached task (see submit()).
+  std::exception_ptr detached_error_ NURD_GUARDED_BY(mutex_);
 };
 
 }  // namespace nurd

@@ -2,13 +2,12 @@
 
 #include <algorithm>
 #include <array>
-#include <condition_variable>
 #include <deque>
 #include <exception>
-#include <mutex>
 #include <vector>
 
 #include "common/check.h"
+#include "common/sync.h"
 #include "common/thread_pool.h"
 
 namespace nurd::core {
@@ -36,6 +35,11 @@ constexpr auto kFl = Stage::kFlag;
 std::size_t idx(Stage s) { return static_cast<std::size_t>(s); }
 }  // namespace
 
+// Lock discipline (compiler-checked): mutex_ is the single registry lock and
+// a LEAF — the stage runner and the on_retire/on_error callbacks always run
+// with it released (see run_one/cancel_job), so callbacks may re-enter admit
+// or cancel_job freely. Helpers named *_locked plus the bookkeeping queries
+// carry NURD_REQUIRES(mutex_) and cannot be called unlocked any more.
 struct TaskDag::Impl {
   // One live checkpoint of one job: four stages with outstanding-dependency
   // counts. A stage becomes ready when its count reaches zero; the whole
@@ -70,24 +74,26 @@ struct TaskDag::Impl {
                "window must cover the featurize-ahead bound");
   }
 
-  // ---- completion queries (mutex_ held) ----------------------------------
+  // ---- completion queries --------------------------------------------------
   // Stage `s` of checkpoint `t` complete? Retired checkpoints (t < base) are
   // complete in every stage; live ones carry their flags.
-  bool stage_done(const JobState& js, std::size_t t, Stage s) const {
+  bool stage_done(const JobState& js, std::size_t t, Stage s) const
+      NURD_REQUIRES(mutex_) {
     if (t < js.base) return true;
     const std::size_t off = t - js.base;
     NURD_CHECK(off < js.live.size(), "dependency on an unadmitted checkpoint");
     return js.live[off].done[idx(s)];
   }
 
-  Node* node_at(JobState& js, std::size_t t) {
+  Node* node_at(JobState& js, std::size_t t) NURD_REQUIRES(mutex_) {
     if (t < js.base) return nullptr;
     const std::size_t off = t - js.base;
     return off < js.live.size() ? &js.live[off] : nullptr;
   }
 
-  // ---- ready-queue plumbing (mutex_ held) --------------------------------
-  void push_ready(std::size_t worker, const TaskKey& task) {
+  // ---- ready-queue plumbing ------------------------------------------------
+  void push_ready(std::size_t worker, const TaskKey& task)
+      NURD_REQUIRES(mutex_) {
     ready_[worker % ready_.size()].push_back(task);
     ++ready_count_;
     cv_.notify_one();
@@ -95,7 +101,7 @@ struct TaskDag::Impl {
 
   // Own deque LIFO (the stage just unlocked stays cache-warm), steal FIFO
   // from the left neighbour onward (the oldest waiting work elsewhere).
-  bool pop_any(std::size_t wid, TaskKey* out) {
+  bool pop_any(std::size_t wid, TaskKey* out) NURD_REQUIRES(mutex_) {
     auto& own = ready_[wid];
     if (!own.empty()) {
       *out = own.back();
@@ -116,8 +122,8 @@ struct TaskDag::Impl {
   }
 
   // ---- graph construction -------------------------------------------------
-  bool admit(std::size_t job, std::size_t checkpoint) {
-    std::unique_lock<std::mutex> lock(mutex_);
+  bool admit(std::size_t job, std::size_t checkpoint) NURD_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     NURD_CHECK(job < jobs_.size(), "admit: job out of range");
     JobState& js = jobs_[job];
     if (js.cancelled) return false;
@@ -135,8 +141,11 @@ struct TaskDag::Impl {
 
     // Outstanding-dependency counts: each predecessor not yet complete adds
     // one. Same-checkpoint predecessors are created right here, so they
-    // always count.
+    // always count. (The lambda runs under mutex_ — it is called only on
+    // this line-sequence where the MutexLock above is live — but the
+    // analysis cannot see a lambda's caller, hence the assert.)
     auto need = [&](std::size_t pt, Stage ps) {
+      mutex_.assert_held();
       return !stage_done(js, pt, ps) ? 1 : 0;
     };
     auto& d = node.deps;
@@ -159,13 +168,14 @@ struct TaskDag::Impl {
     return true;
   }
 
-  // ---- completion bookkeeping --------------------------------------------
+  // ---- completion bookkeeping ---------------------------------------------
   // Called on the worker that finished (job, t, s). Decrements dependents,
   // pushes the newly ready onto this worker's deque, retires the checkpoint
   // when its Flag stage completed. Returns the retired checkpoint (== t) or
   // SIZE_MAX when nothing retired.
-  std::size_t complete(std::size_t wid, const TaskKey& task) {
-    std::unique_lock<std::mutex> lock(mutex_);
+  std::size_t complete(std::size_t wid, const TaskKey& task)
+      NURD_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     JobState& js = jobs_[task.job];
     if (js.epoch != task.epoch) return SIZE_MAX;  // cancelled mid-run
     Node* node = node_at(js, task.checkpoint);
@@ -173,7 +183,10 @@ struct TaskDag::Impl {
     node->done[idx(task.stage)] = true;
 
     const std::size_t t = task.checkpoint;
+    // Runs only under the MutexLock above; see admit() for why the lambda
+    // needs the assert.
     auto unlock_dep = [&](std::size_t dt, Stage ds) {
+      mutex_.assert_held();
       Node* dep = node_at(js, dt);
       if (dep == nullptr) return;  // not admitted yet; admit() will see done
       if (--dep->deps[idx(ds)] == 0) {
@@ -214,9 +227,9 @@ struct TaskDag::Impl {
   // Counterpart of the node removals in complete()/cancel_locked(): the
   // retired checkpoints leave the live count only AFTER their on_retire
   // callbacks returned, so wait() covers the callbacks too.
-  void finish_retire(std::size_t n) {
+  void finish_retire(std::size_t n) NURD_EXCLUDES(mutex_) {
     if (n == 0) return;
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     live_count_ -= n;
     if (live_count_ == 0) cv_.notify_all();
   }
@@ -224,7 +237,8 @@ struct TaskDag::Impl {
   // Drops a job's queued and live work under a fresh epoch; returns the
   // checkpoints abandoned so the caller can retire them outside the lock.
   std::uint64_t cancel_locked(std::size_t job,
-                              std::vector<std::size_t>* dropped) {
+                              std::vector<std::size_t>* dropped)
+      NURD_REQUIRES(mutex_) {
     JobState& js = jobs_[job];
     ++js.epoch;
     js.cancelled = true;
@@ -242,11 +256,12 @@ struct TaskDag::Impl {
     return js.epoch;
   }
 
-  std::uint64_t cancel_job(std::size_t job, bool notify_retire) {
+  std::uint64_t cancel_job(std::size_t job, bool notify_retire)
+      NURD_EXCLUDES(mutex_) {
     std::vector<std::size_t> dropped;
     std::uint64_t epoch;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       epoch = cancel_locked(job, &dropped);
     }
     if (notify_retire && on_retire_) {
@@ -257,8 +272,8 @@ struct TaskDag::Impl {
   }
 
   // ---- the pump loop ------------------------------------------------------
-  void pump(std::size_t wid) {
-    std::unique_lock<std::mutex> lock(mutex_);
+  void pump(std::size_t wid) NURD_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     for (;;) {
       TaskKey task;
       if (pop_any(wid, &task)) {
@@ -269,18 +284,18 @@ struct TaskDag::Impl {
         continue;
       }
       if ((closed_ && live_count_ == 0) || stopping_) break;
-      cv_.wait(lock);
+      cv_.wait(mutex_);
     }
     if (--active_pumps_ == 0) cv_.notify_all();
   }
 
-  void run_one(std::size_t wid, const TaskKey& task) {
+  void run_one(std::size_t wid, const TaskKey& task) NURD_EXCLUDES(mutex_) {
     try {
       run_(task);
     } catch (...) {
       const auto error = std::current_exception();
       {
-        std::unique_lock<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         if (jobs_[task.job].epoch != task.epoch) return;  // already cancelled
       }
       if (on_error_) on_error_(task.job, error);
@@ -294,32 +309,38 @@ struct TaskDag::Impl {
     }
   }
 
-  void start(ThreadPool& pool) {
+  void start(ThreadPool& pool) NURD_EXCLUDES(mutex_) {
     NURD_CHECK(pool.size() >= 1,
                "TaskDag needs a pool with at least one worker");
-    NURD_CHECK(ready_.empty(), "TaskDag started twice");
     // One pump per pool worker at most: a pump holds its worker for the
     // whole run, so surplus pumps would never be scheduled (their deques are
     // still reachable through stealing, but there is no point creating
-    // them).
+    // them). The guarded setup runs under mutex_ (pumps launched below read
+    // these fields under it); the pump submissions happen OUTSIDE so this
+    // never holds the registry lock while taking the pool's — every lock in
+    // the stack stays a leaf (see common/sync.h).
     const std::size_t n =
         std::max<std::size_t>(1, std::min(config_.workers, pool.size()));
-    ready_.resize(n);
-    active_pumps_ = n;
+    {
+      MutexLock lock(mutex_);
+      NURD_CHECK(ready_.empty(), "TaskDag started twice");
+      ready_.resize(n);
+      active_pumps_ = n;
+    }
     for (std::size_t w = 0; w < n; ++w) {
       pool.submit([this, w] { pump(w); });
     }
   }
 
-  void close() {
-    std::unique_lock<std::mutex> lock(mutex_);
+  void close() NURD_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     closed_ = true;
     cv_.notify_all();
   }
 
-  void wait() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [&] { return closed_ && live_count_ == 0; });
+  void wait() NURD_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    while (!(closed_ && live_count_ == 0)) cv_.wait(mutex_);
   }
 
   ~Impl() {
@@ -327,13 +348,13 @@ struct TaskDag::Impl {
     // remaining work WITHOUT callbacks — the owning layer is mid-teardown —
     // and wait for every pump to leave before the state is freed.
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       stopping_ = true;
       closed_ = true;
       for (auto& deque : ready_) deque.clear();
       ready_count_ = 0;
       cv_.notify_all();
-      cv_.wait(lock, [&] { return active_pumps_ == 0; });
+      while (active_pumps_ != 0) cv_.wait(mutex_);
     }
   }
 
@@ -342,16 +363,19 @@ struct TaskDag::Impl {
   RetireFn on_retire_;
   ErrorFn on_error_;
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::vector<JobState> jobs_;
-  std::vector<std::deque<TaskKey>> ready_;  ///< per-worker deques
-  std::size_t ready_count_ = 0;
-  std::size_t inject_next_ = 0;  ///< round-robin target for admit() pushes
-  std::size_t live_count_ = 0;   ///< admitted checkpoints not yet retired
-  std::size_t active_pumps_ = 0;
-  bool closed_ = false;
-  bool stopping_ = false;
+  Mutex mutex_;
+  CondVar cv_;
+  std::vector<JobState> jobs_ NURD_GUARDED_BY(mutex_);
+  /// Per-worker ready deques.
+  std::vector<std::deque<TaskKey>> ready_ NURD_GUARDED_BY(mutex_);
+  std::size_t ready_count_ NURD_GUARDED_BY(mutex_) = 0;
+  /// Round-robin target for admit() pushes.
+  std::size_t inject_next_ NURD_GUARDED_BY(mutex_) = 0;
+  /// Admitted checkpoints not yet retired.
+  std::size_t live_count_ NURD_GUARDED_BY(mutex_) = 0;
+  std::size_t active_pumps_ NURD_GUARDED_BY(mutex_) = 0;
+  bool closed_ NURD_GUARDED_BY(mutex_) = false;
+  bool stopping_ NURD_GUARDED_BY(mutex_) = false;
 };
 
 TaskDag::TaskDag(std::size_t jobs, TaskDagConfig config, StageFn run,

@@ -152,7 +152,9 @@ const KernelOps* table_of(Backend b) {
 /// stderr and fall back to the reference backend (a bench run on a non-AVX2
 /// box should degrade, not die).
 void init_from_env() {
-  const char* env = std::getenv("NURD_KERNEL_BACKEND");
+  // Read exactly once, under std::call_once before any worker threads
+  // exist; nothing in the process calls setenv.
+  const char* env = std::getenv("NURD_KERNEL_BACKEND");  // NOLINT(concurrency-mt-unsafe)
   const KernelOps* chosen = &kReferenceOps;
   if (env != nullptr && *env != '\0') {
     if (std::strcmp(env, "reference") == 0) {

@@ -28,17 +28,20 @@ LiveClusterFeed::LiveClusterFeed(std::span<const trace::Job> jobs,
 
 FlagSink LiveClusterFeed::sink() {
   return [this](const FlagDecision& flag) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     engine_.post_flag(flag.job, flag.task, flag.checkpoint);
     // Safe to advance: the monitor's watermark still covers this flag's
     // event (its time leaves the in-flight set only after the sink returns),
-    // and the engine stops strictly below the bound.
+    // and the engine stops strictly below the bound. low_watermark() takes
+    // the monitor's lock while we hold ours — the codebase's single nested
+    // acquisition, feed → monitor (documented in common/sync.h); the monitor
+    // never calls the sink with its lock held, so the order cannot invert.
     engine_.advance_to(monitor_->low_watermark());
   };
 }
 
 sched::ClusterResult LiveClusterFeed::finish() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return engine_.finish();
 }
 

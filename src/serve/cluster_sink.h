@@ -17,14 +17,19 @@
 //     identical at any serving thread count, whatever order flags arrive in.
 //
 // Thread-safety: the sink and finish() serialize on an internal mutex; one
-// feed serves one StreamMonitor run.
+// feed serves one StreamMonitor run. This mutex is the ONE lock in the
+// codebase held across a call into another locked layer — the sink queries
+// StreamMonitor::low_watermark() while holding mutex_, i.e. the order is
+// LiveClusterFeed::mutex_ → StreamMonitor::mutex_, never the reverse (the
+// monitor invokes sinks with its own lock released). See the lock-ordering
+// table in common/sync.h.
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <span>
 
 #include "common/rng.h"
+#include "common/sync.h"
 #include "sched/cluster.h"
 #include "serve/stream_monitor.h"
 
@@ -47,14 +52,14 @@ class LiveClusterFeed {
 
   /// Drains the cluster past the last event and returns the result. Call
   /// once, after StreamMonitor::run() returns.
-  sched::ClusterResult finish();
+  sched::ClusterResult finish() NURD_EXCLUDES(mutex_);
 
  private:
   const StreamMonitor* monitor_;
   sched::ClusterConfig config_;  ///< owns the fixed-arrivals override
   Rng rng_;
-  std::mutex mutex_;
-  sched::ClusterEngine engine_;  ///< guarded by mutex_
+  Mutex mutex_;
+  sched::ClusterEngine engine_ NURD_GUARDED_BY(mutex_);
 };
 
 }  // namespace nurd::serve

@@ -4,16 +4,15 @@
 #include <array>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <exception>
 #include <limits>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <tuple>
 
 #include "common/check.h"
+#include "common/sync.h"
 #include "common/thread_pool.h"
 #include "core/task_dag.h"
 
@@ -98,8 +97,8 @@ struct StreamMonitor::Impl {
                         : events_.front().time;
   }
 
-  double low_watermark() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  double low_watermark() const NURD_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return inflight_times_.empty() ? next_ingest_time_
                                    : *inflight_times_.begin();
   }
@@ -107,13 +106,11 @@ struct StreamMonitor::Impl {
   // Admits `ev` into its lane (caller holds no locks) and, when the lane is
   // idle, starts a drain: submitted to `pool`, or run inline right here when
   // serialized (pool == nullptr).
-  void admit(const IngestEvent& ev, ThreadPool* pool) {
+  void admit(const IngestEvent& ev, ThreadPool* pool) NURD_EXCLUDES(mutex_) {
     bool schedule = false;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [&] {
-        return inflight_ < cap_ || error_ != nullptr;
-      });
+      MutexLock lock(mutex_);
+      while (!(inflight_ < cap_ || error_ != nullptr)) cv_.wait(mutex_);
       if (error_) return;  // stop admitting; run() rethrows after the drain
       Lane& lane = lanes_[ev.job];
       lane.pending.push_back({ev.time, ev.checkpoint, Clock::now()});
@@ -149,7 +146,8 @@ struct StreamMonitor::Impl {
   // leave the monitor: the sink runs here, OUTSIDE the monitor mutex and
   // BEFORE the event's time leaves the in-flight set, so low_watermark()
   // cannot pass a flag that is still being delivered.
-  void run_stage(std::size_t job, std::size_t t, core::Stage stage) {
+  void run_stage(std::size_t job, std::size_t t, core::Stage stage)
+      NURD_EXCLUDES(mutex_) {
     Lane& lane = lanes_[job];
     eval::CheckpointScratch& cell = lane.ring[t % lane.ring.size()];
     const auto began = Clock::now();
@@ -170,7 +168,7 @@ struct StreamMonitor::Impl {
             const double time = event_time(job, t);
             for (auto task : flagged) config_.sink({job, task, t, time});
           }
-          std::lock_guard<std::mutex> lock(mutex_);
+          MutexLock lock(mutex_);
           flags_ += flagged.size();
         }
         break;
@@ -187,12 +185,12 @@ struct StreamMonitor::Impl {
   // Drains one job's lane (serialized and kSerialLanes modes): processes
   // admitted checkpoints strictly in order — all four stages back to back —
   // until the lane empties.
-  void drain_lane(std::size_t job) {
+  void drain_lane(std::size_t job) NURD_EXCLUDES(mutex_) {
     Lane& lane = lanes_[job];
     for (;;) {
       Admitted ev;
       {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         if (lane.pending.empty() || error_) {
           lane.scheduled = false;
           if (error_) abandon_lane_locked(lane);
@@ -209,7 +207,7 @@ struct StreamMonitor::Impl {
           run_stage(job, ev.checkpoint, static_cast<core::Stage>(s));
         }
       } catch (...) {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         if (!error_) error_ = std::current_exception();
         retire_locked(ev.time);
         lane.scheduled = false;
@@ -221,7 +219,7 @@ struct StreamMonitor::Impl {
           std::chrono::duration<double>(Clock::now() - ev.admitted_at)
               .count();
       {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         latencies_.push_back(latency);
         ++processed_;
         retire_locked(ev.time);
@@ -234,12 +232,11 @@ struct StreamMonitor::Impl {
   // themselves). A refused admit — the job was cancelled by an earlier stage
   // error — retires the event immediately so the in-flight count still
   // drains to zero.
-  void admit_dag(const IngestEvent& ev, core::TaskDag& dag) {
+  void admit_dag(const IngestEvent& ev, core::TaskDag& dag)
+      NURD_EXCLUDES(mutex_) {
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [&] {
-        return inflight_ < cap_ || error_ != nullptr;
-      });
+      MutexLock lock(mutex_);
+      while (!(inflight_ < cap_ || error_ != nullptr)) cv_.wait(mutex_);
       if (error_) return;  // stop admitting; run() rethrows after the drain
       ++inflight_;
       inflight_times_.insert(ev.time);
@@ -251,13 +248,13 @@ struct StreamMonitor::Impl {
       admitted_at_[ev.job][ev.checkpoint] = Clock::now();
     }
     if (!dag.admit(ev.job, ev.checkpoint)) {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       retire_locked(ev.time);
     }
   }
 
-  // Both _locked helpers require mutex_ held.
-  void retire_locked(double time) {
+  // Both _locked helpers require mutex_ held (compiler-enforced).
+  void retire_locked(double time) NURD_REQUIRES(mutex_) {
     --inflight_;
     inflight_times_.erase(inflight_times_.find(time));
     cv_.notify_all();
@@ -265,12 +262,12 @@ struct StreamMonitor::Impl {
 
   // A failed lane abandons its backlog so run()'s in-flight count can still
   // drain to zero (the first error is what gets rethrown).
-  void abandon_lane_locked(Lane& lane) {
+  void abandon_lane_locked(Lane& lane) NURD_REQUIRES(mutex_) {
     for (const auto& dropped : lane.pending) retire_locked(dropped.time);
     lane.pending.clear();
   }
 
-  ServeResult run() {
+  ServeResult run() NURD_EXCLUDES(mutex_) {
     NURD_CHECK(!ran_, "StreamMonitor::run() called twice");
     ran_ = true;
 
@@ -295,6 +292,7 @@ struct StreamMonitor::Impl {
       lanes_[j].ring.resize(use_dag ? config_.window : 1);
     }
     if (use_dag) {
+      MutexLock lock(mutex_);  // preamble, but the field is lock-annotated
       admitted_at_.resize(jobs_.size());
       for (std::size_t j = 0; j < jobs_.size(); ++j) {
         admitted_at_[j].resize(jobs_[j].checkpoint_count());
@@ -321,7 +319,7 @@ struct StreamMonitor::Impl {
             run_stage(k.job, k.checkpoint, k.stage);
           },
           [this](std::size_t job, std::size_t ckpt, bool completed) {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             if (completed) {
               latencies_.push_back(
                   std::chrono::duration<double>(Clock::now() -
@@ -332,7 +330,7 @@ struct StreamMonitor::Impl {
             retire_locked(event_time(job, ckpt));
           },
           [this](std::size_t, std::exception_ptr e) {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             if (!error_) error_ = e;
             cv_.notify_all();
           });
@@ -347,18 +345,18 @@ struct StreamMonitor::Impl {
         admit(ev, pool ? &*pool : nullptr);
       }
       {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         if (error_) break;
       }
     }
     if (dag) dag->close();
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [&] { return inflight_ == 0; });
+      MutexLock lock(mutex_);
+      while (inflight_ != 0) cv_.wait(mutex_);
     }
     if (dag) dag->wait();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (error_) std::rethrow_exception(error_);
     }
     const double wall =
@@ -368,18 +366,26 @@ struct StreamMonitor::Impl {
     result.runs.reserve(jobs_.size());
     for (auto& lane : lanes_) result.runs.push_back(lane.run->take_result());
 
+    // Stats assembly holds mutex_: the drain above already guarantees every
+    // writer is done (in-flight count zero, DAG pumps exited), but reading
+    // the guarded counters through the same lock they were written under
+    // makes the happens-before a compiler-checked fact instead of an
+    // argument about pool teardown order.
     ServeStats& s = result.stats;
-    s.jobs = jobs_.size();
-    s.checkpoints = processed_;
-    s.flags = flags_;
-    s.lanes = lanes;
-    s.peak_backlog = peak_backlog_;
-    s.wall_seconds = wall;
-    s.checkpoints_per_sec =
-        wall > 0.0 ? static_cast<double>(processed_) / wall : 0.0;
-    std::sort(latencies_.begin(), latencies_.end());
-    s.p50_latency_ms = percentile_ms(latencies_, 0.50);
-    s.p99_latency_ms = percentile_ms(latencies_, 0.99);
+    {
+      MutexLock lock(mutex_);
+      s.jobs = jobs_.size();
+      s.checkpoints = processed_;
+      s.flags = flags_;
+      s.lanes = lanes;
+      s.peak_backlog = peak_backlog_;
+      s.wall_seconds = wall;
+      s.checkpoints_per_sec =
+          wall > 0.0 ? static_cast<double>(processed_) / wall : 0.0;
+      std::sort(latencies_.begin(), latencies_.end());
+      s.p50_latency_ms = percentile_ms(latencies_, 0.50);
+      s.p99_latency_ms = percentile_ms(latencies_, 0.99);
+    }
     for (std::size_t i = 0; i < core::kStageCount; ++i) {
       s.stage_seconds[i] =
           static_cast<double>(
@@ -389,6 +395,12 @@ struct StreamMonitor::Impl {
     return result;
   }
 
+  // ---- owner state: written at construction or in run()'s preamble, before
+  // any worker exists; read-only once stage tasks are in flight. Lane::run /
+  // ::predictor / ::ring are lane-private — exactly one stage task of a job
+  // runs at a time (the DAG's refit chain / the serial lane), so they need
+  // no lock; Lane::pending / ::scheduled are the exception and are only
+  // touched under mutex_ (see drain_lane).
   std::span<const trace::Job> jobs_;
   core::NamedPredictor method_;
   StreamMonitorConfig config_;
@@ -398,21 +410,25 @@ struct StreamMonitor::Impl {
   bool ran_ = false;
   std::size_t cap_ = 1;
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::size_t inflight_ = 0;
-  std::multiset<double> inflight_times_;  ///< admitted, not yet processed
-  std::size_t next_event_ = 0;            ///< next events_ index to admit
-  double next_ingest_time_ = 0.0;
-  std::size_t peak_backlog_ = 0;
-  std::size_t processed_ = 0;
-  std::size_t flags_ = 0;
-  std::vector<double> latencies_;  ///< seconds, unsorted until run() ends
-  std::exception_ptr error_;
+  mutable Mutex mutex_;
+  CondVar cv_;
+  std::size_t inflight_ NURD_GUARDED_BY(mutex_) = 0;
+  /// Admitted, not yet processed.
+  std::multiset<double> inflight_times_ NURD_GUARDED_BY(mutex_);
+  /// Next events_ index to admit.
+  std::size_t next_event_ NURD_GUARDED_BY(mutex_) = 0;
+  double next_ingest_time_ NURD_GUARDED_BY(mutex_) = 0.0;
+  std::size_t peak_backlog_ NURD_GUARDED_BY(mutex_) = 0;
+  std::size_t processed_ NURD_GUARDED_BY(mutex_) = 0;
+  std::size_t flags_ NURD_GUARDED_BY(mutex_) = 0;
+  /// Seconds, unsorted until run() ends.
+  std::vector<double> latencies_ NURD_GUARDED_BY(mutex_);
+  std::exception_ptr error_ NURD_GUARDED_BY(mutex_);
 
   /// DAG mode: admission wall-clock per (job, checkpoint), stamped under
   /// mutex_ at admit and read under mutex_ at retire.
-  std::vector<std::vector<Clock::time_point>> admitted_at_;
+  std::vector<std::vector<Clock::time_point>> admitted_at_
+      NURD_GUARDED_BY(mutex_);
   /// Cumulative busy nanoseconds per pipeline stage, across all workers.
   std::array<std::atomic<std::uint64_t>, core::kStageCount> stage_nanos_{};
 };
