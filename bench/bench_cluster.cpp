@@ -4,6 +4,7 @@
 //
 //   $ ./bench_cluster [--jobs=24] [--dataset=google|alibaba] [--method=NURD]
 //                     [--reps=8] [--seed=99] [--threads=0]
+//                     [--json=BENCH_cluster.json]
 //
 // Three sweeps, all driven by one run_method pass for the chosen predictor:
 //   1. shared spare machines (batch arrivals) — the Figure 6/7 axis lifted
@@ -33,6 +34,7 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(bench::arg_long(argc, argv, "threads", 0));
   const auto which = bench::arg_string(argc, argv, "dataset", "google");
   const auto method_name = bench::arg_string(argc, argv, "method", "NURD");
+  const auto json_path = bench::arg_string(argc, argv, "json", "");
   const auto dataset =
       which == "alibaba" ? bench::Dataset::kAlibaba : bench::Dataset::kGoogle;
 
@@ -55,6 +57,30 @@ int main(int argc, char** argv) {
         jobs, runs, config, reps, seed, threads));
   };
 
+  bench::JsonWriter json;
+  json.begin_object();
+  json.key("bench").value("cluster");
+  json.key("method").value(method_name);
+  json.key("dataset").value(bench::dataset_name(dataset));
+  json.key("jobs").value(n_jobs);
+  json.key("replications").value(reps);
+  json.key("mean_jct_s").value(mean_jct);
+  json.key("sweeps").begin_array();
+  // One row per sweep point: the axis value plus the replication summary.
+  const auto json_point = [&](const char* axis, double axis_value,
+                              std::size_t machines,
+                              const sched::ClusterSummary& s) {
+    json.begin_object();
+    json.key(axis).value(axis_value);
+    json.key("machines").value(machines);
+    json.key("mean_reduction_pct").value(s.mean_reduction_pct);
+    json.key("mean_makespan_s").value(s.mean_makespan);
+    json.key("mean_relaunched").value(s.mean_relaunched);
+    json.key("mean_waited").value(s.mean_waited);
+    json.key("max_peak_waiting").value(s.max_peak_waiting);
+    json.end_object();
+  };
+
   for (const bool reclaim : {false, true}) {
     std::cout << "-- Sweep 1" << (reclaim ? "b" : "a")
               << ": spare machines (batch arrivals), "
@@ -63,6 +89,9 @@ int main(int argc, char** argv) {
               << "\n";
     TextTable table({"machines", "mean red %", "makespan(s)", "relaunched",
                      "waited", "peak queue"});
+    json.begin_object();
+    json.key("sweep").value(reclaim ? "machines_reclaimed" : "machines_donated");
+    json.key("points").begin_array();
     for (const std::size_t m : {0, 5, 10, 20, 40, 80, 160}) {
       sched::ClusterConfig config;
       config.machines = m;
@@ -73,7 +102,10 @@ int main(int argc, char** argv) {
                      TextTable::num(s.mean_relaunched, 1),
                      TextTable::num(s.mean_waited, 1),
                      std::to_string(s.max_peak_waiting)});
+      json_point("machines", static_cast<double>(m), m, s);
     }
+    json.end_array();
+    json.end_object();
     std::cout << table.render() << "\n";
   }
 
@@ -82,6 +114,9 @@ int main(int argc, char** argv) {
               << n_jobs / 2 << " spares); load = rate x mean JCT\n";
     TextTable table({"load", "mean red %", "makespan(s)", "relaunched",
                      "waited", "peak queue"});
+    json.begin_object();
+    json.key("sweep").value("poisson_load");
+    json.key("points").begin_array();
     for (const double load : {0.25, 0.5, 1.0, 2.0, 4.0}) {
       sched::ClusterConfig config;
       config.machines = n_jobs / 2;
@@ -94,7 +129,10 @@ int main(int argc, char** argv) {
                      TextTable::num(s.mean_relaunched, 1),
                      TextTable::num(s.mean_waited, 1),
                      std::to_string(s.max_peak_waiting)});
+      json_point("load", load, config.machines, s);
     }
+    json.end_array();
+    json.end_object();
     std::cout << table.render() << "\n";
   }
 
@@ -106,6 +144,9 @@ int main(int argc, char** argv) {
     std::vector<std::size_t> sizes;
     for (std::size_t c = 3; c < jobs.size(); c *= 2) sizes.push_back(c);
     sizes.push_back(jobs.size());  // always end on the full cluster
+    json.begin_object();
+    json.key("sweep").value("cluster_size");
+    json.key("points").begin_array();
     for (const std::size_t count : sizes) {
       sched::ClusterConfig config;
       config.machines = count / 2;
@@ -120,9 +161,17 @@ int main(int argc, char** argv) {
                      TextTable::num(s.mean_makespan, 0),
                      TextTable::num(s.mean_waited, 1),
                      std::to_string(s.max_peak_waiting)});
+      json_point("cluster_jobs", static_cast<double>(count), config.machines,
+                 s);
     }
+    json.end_array();
+    json.end_object();
     std::cout << table.render() << "\n";
   }
 
+  json.end_array();
+  json.key("peak_rss_bytes").value(bench::peak_rss_bytes());
+  json.end_object();
+  if (!json_path.empty() && !json.write_file(json_path)) return 1;
   return 0;
 }

@@ -235,6 +235,17 @@ inline std::vector<std::string> split_csv(const std::string& csv) {
 // Replaceable global allocation functions (counted). Non-inline by the
 // rules for replacement functions; see the header comment for why defining
 // them here is safe for single-TU benches.
+//
+// GCC 12's -Wmismatched-new-delete can misfire here: when a make_unique in
+// the same TU inlines far enough, it pairs the caller's `delete` with the
+// malloc INSIDE this replacement operator new and reports a mismatch that
+// cannot exist (the matching replacement operator delete frees with
+// std::free). Replacement allocators are exactly the case the warning is
+// not built for, so silence it for these definitions only.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
 void* operator new(std::size_t size) {
   nurd::bench::detail::alloc_count.fetch_add(1, std::memory_order_relaxed);
   nurd::bench::detail::alloc_bytes.fetch_add(size, std::memory_order_relaxed);
@@ -248,3 +259,6 @@ void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """nurd_lint: the project-invariant linter.
 
-Enforces the three cross-cutting contracts the compiler cannot see (the
+Enforces the cross-cutting contracts the compiler cannot see (the
 thread-safety annotations and clang-tidy cover lock discipline and generic
 bug patterns; these rules are NURD-specific):
 
@@ -32,6 +32,15 @@ bug patterns; these rules are NURD-specific):
                  which plays reality; transfer learning's source jobs; the
                  FitSession featurization layer) are allowlisted with
                  justifications in scripts/nurd_lint_allowlist.txt.
+
+  lock-table     src/common/sync.h's lock-ordering table is the authoritative
+                 inventory of every `Mutex` under src/: each declaration must
+                 have a `[mutex] <path-under-src>::<field>` entry documenting
+                 its scope and nesting, and every entry must point at a live
+                 declaration. Undocumented mutexes are reported at the
+                 declaration site; stale entries at the table line (stale
+                 detection only runs on a full-tree lint, since a partial
+                 file list cannot prove absence).
 
 Usage:
   python3 scripts/nurd_lint.py [--root DIR] [--allowlist FILE] [files...]
@@ -90,6 +99,12 @@ ORDER_SENSITIVE_DIRS = ("src/eval", "src/serve", "src/core")
 TRACE_INTERNAL_TOKENS = [".store()", "->store()", ".latencies()",
                          "->latencies()"]
 TRACE_DIR = "src/trace"
+
+# The lock-ordering table lives here; entries look like
+#   [mutex] serve/shard_pool.cpp::mutex_
+SYNC_HEADER = "src/common/sync.h"
+_MUTEX_DECL = re.compile(r"^\s*(?:mutable\s+)?Mutex\s+(\w+)\s*;")
+_MUTEX_ENTRY = re.compile(r"\[mutex\]\s+([\w./-]+::\w+)")
 
 _UNORDERED_DECL = re.compile(
     r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<[^;{]*?>\s+(\w+)")
@@ -273,6 +288,52 @@ def check_trace_access(relpath: str, text: str) -> list[Finding]:
 RULES = (check_wall_clock, check_unordered_iteration, check_trace_access)
 
 
+def check_lock_table(root: str, relpaths: list[str],
+                     full_tree: bool) -> list[Finding]:
+    """Cross-file rule: every `Mutex` member declared under src/ must have a
+    `[mutex] <path-under-src>::<field>` entry in the sync.h lock-ordering
+    table; on a full-tree lint, every entry must also resolve to a live
+    declaration."""
+    entries: dict[str, int] = {}
+    sync_path = os.path.join(root, SYNC_HEADER)
+    if os.path.exists(sync_path):
+        with open(sync_path, encoding="utf-8", errors="replace") as f:
+            for lineno, raw in enumerate(f.read().splitlines(), 1):
+                m = _MUTEX_ENTRY.search(raw)
+                if m:
+                    entries[m.group(1)] = lineno
+
+    findings = []
+    declared: set[str] = set()
+    for relpath in relpaths:
+        p = relpath.replace(os.sep, "/")
+        if not p.startswith("src/"):
+            continue
+        with open(os.path.join(root, relpath), encoding="utf-8",
+                  errors="replace") as f:
+            text = f.read()
+        for lineno, line in _scrubbed_lines(text):
+            m = _MUTEX_DECL.match(line)
+            if not m:
+                continue
+            key = f"{p[len('src/'):]}::{m.group(1)}"
+            declared.add(key)
+            if key not in entries:
+                findings.append(Finding(
+                    relpath, lineno, "lock-table",
+                    f"Mutex '{m.group(1)}' has no '[mutex] {key}' entry in "
+                    f"{SYNC_HEADER}'s lock-ordering table — document its "
+                    f"scope and nesting there"))
+    if full_tree:
+        for key, lineno in sorted(entries.items()):
+            if key not in declared:
+                findings.append(Finding(
+                    SYNC_HEADER, lineno, "lock-table",
+                    f"stale lock-table entry '[mutex] {key}': no such Mutex "
+                    f"declaration under src/ — remove or update the entry"))
+    return findings
+
+
 # ---------------------------------------------------------------------------
 # Driver
 # ---------------------------------------------------------------------------
@@ -342,6 +403,7 @@ def run(root: str, allowlist_path: str | None,
     findings: list[Finding] = []
     for relpath in relpaths:
         findings.extend(lint_file(root, relpath))
+    findings.extend(check_lock_table(root, relpaths, full_tree=files is None))
     findings = apply_allowlist(findings, entries, root)
     unused = [e for e in entries if not e.used]
     return findings, unused

@@ -1,0 +1,9 @@
+// Fixture lock-ordering table for the lock-table rule. One live entry
+// (serve/good_mutex.cpp declares it) and one stale entry (no such file) so
+// both directions of the drift check have a test anchor.
+//
+//   [mutex] serve/good_mutex.cpp::mutex_
+//       Documented fixture lock. Leaf.
+//   [mutex] serve/gone.cpp::mutex_
+//       Stale fixture entry — the full-tree lint must flag this line.
+#pragma once

@@ -1,0 +1,10 @@
+// Fixture: a Mutex with NO [mutex] entry in the fixture sync.h — the
+// lock-table rule must report the declaration line.
+struct Mutex {};
+
+struct Undocumented {
+  mutable Mutex undocumented_;  // line 6: the finding anchors here
+};
+
+// A commented-out declaration must NOT fire:
+//   Mutex commented_out_;

@@ -1,0 +1,7 @@
+// Fixture: a Mutex with a matching [mutex] entry in the fixture sync.h —
+// the lock-table rule must stay quiet.
+struct Mutex {};
+
+struct Documented {
+  Mutex mutex_;
+};

@@ -78,6 +78,35 @@ class TraceAccessRule(unittest.TestCase):
         self.assertEqual(findings, [])
 
 
+class LockTableRule(unittest.TestCase):
+    def test_undocumented_mutex_fires_at_declaration(self):
+        findings, _ = lint("src/serve/bad_mutex.cpp")
+        table = [f for f in findings if f.rule == "lock-table"]
+        self.assertEqual([(f.path, f.line) for f in table],
+                         [("src/serve/bad_mutex.cpp", 6)])
+        self.assertIn("serve/bad_mutex.cpp::undocumented_",
+                      table[0].message)
+
+    def test_documented_mutex_is_quiet(self):
+        findings, _ = lint("src/serve/good_mutex.cpp")
+        self.assertEqual([f for f in findings if f.rule == "lock-table"], [])
+
+    def test_partial_lint_never_reports_stale_entries(self):
+        findings, _ = lint("src/serve/good_mutex.cpp")
+        self.assertEqual(findings, [])
+
+    def test_full_tree_lint_reports_stale_entries(self):
+        findings, _ = nurd_lint.run(FIXTURES, None, None)
+        stale = [f for f in findings
+                 if f.rule == "lock-table" and "stale" in f.message]
+        self.assertEqual([f.path for f in stale], ["src/common/sync.h"])
+        self.assertIn("serve/gone.cpp::mutex_", stale[0].message)
+
+    def test_commented_declaration_does_not_fire(self):
+        findings, _ = lint("src/serve/bad_mutex.cpp")
+        self.assertNotIn(10, {f.line for f in findings})
+
+
 class Allowlist(unittest.TestCase):
     PATH = "src/core/allowlisted_access.cpp"
 

@@ -32,37 +32,56 @@
 //     the fact, with the justification in a comment at the call site.
 //
 // ---------------------------------------------------------------------------
-// LOCK ORDERING ACROSS THE CONCURRENT LAYERS (pool → DAG → monitor → engine)
+// LOCK ORDERING ACROSS THE CONCURRENT LAYERS (pool → DAG → engine → fleet)
 // ---------------------------------------------------------------------------
 // Every lock in src/ is LEAF-SCOPED by design: no layer calls into another
 // layer while holding its own lock, because all cross-layer transfer happens
-// through callbacks invoked AFTER the lock is released —
+// through callbacks invoked AFTER the lock is released.
 //
-//   ThreadPool::mutex_        leaf. Workers pop a task under the lock and run
-//                             it unlocked; submit()/parallel_for() enqueue
-//                             under the lock and notify after (or outside) it.
-//   ThreadPool::LoopState     leaf. Per-parallel_for completion/error channel;
-//     ::mutex                 only ever held around error recording and the
-//                             completion notify/wait.
-//   core::TaskDag (Impl)      leaf. Graph bookkeeping only. The stage runner,
-//     ::mutex_                on_retire and on_error callbacks all run with
-//                             the registry lock RELEASED; pump loops hold it
-//                             only between tasks.
-//   serve::StreamMonitor      leaf. The FlagSink is deliberately invoked from
-//     (Impl)::mutex_          the Flag stage BEFORE the event retires and
-//                             OUTSIDE this lock, so a sink may call back into
-//                             low_watermark() (which takes it) freely.
-//   serve::LiveClusterFeed    the ONE nested acquisition in the codebase:
-//     ::mutex_                sink()/finish() hold it while calling
-//                             StreamMonitor::low_watermark(), i.e.
-//                             LiveClusterFeed::mutex_ → StreamMonitor::mutex_
-//                             in that order, never the reverse (the monitor
-//                             never holds mutex_ while invoking the sink).
-//   sched::ClusterEngine      no lock of its own: live engines are guarded by
-//                             their owner (LiveClusterFeed::mutex_).
+// This table is the authoritative inventory: every `Mutex` declared under
+// src/ has a `[mutex] <path-under-src>::<field>` entry here, and
+// scripts/nurd_lint.py fails the build when a declaration and the table
+// drift apart (missing entry OR stale entry).
 //
-// A thread therefore holds at most two locks at once (feed → monitor), and
-// the pool → DAG → monitor → engine layering can never deadlock: moving DOWN
+//   [mutex] common/thread_pool.h::mutex_
+//       ThreadPool. Leaf. Workers pop a task under the lock and run it
+//       unlocked; submit()/parallel_for() enqueue under the lock and notify
+//       after (or outside) it.
+//   [mutex] common/thread_pool.cpp::mutex
+//       ThreadPool LoopState. Leaf. Per-parallel_for completion/error
+//       channel; only ever held around error recording and the completion
+//       notify/wait.
+//   [mutex] core/task_dag.cpp::mutex_
+//       core::TaskDag (Impl). Leaf. Graph bookkeeping only. The stage
+//       runner, on_retire and on_error callbacks all run with the registry
+//       lock RELEASED; pump loops hold it only between tasks.
+//   [mutex] serve/shard_engine.cpp::mutex_
+//       serve::ShardEngine (Impl) — the execution core one StreamMonitor
+//       shard runs on. Leaf. The FlagSink is deliberately invoked from the
+//       Flag stage BEFORE the event retires and OUTSIDE this lock, so a
+//       sink may call back into low_watermark() (which takes it) freely;
+//       the retired/wait_handoff hooks likewise run unlocked.
+//   [mutex] serve/cluster_sink.h::mutex_
+//       serve::LiveClusterFeed. The ONE nested acquisition in the codebase:
+//       sink()/finish() hold it while calling
+//       StreamMonitor::low_watermark(), i.e. LiveClusterFeed::mutex_ →
+//       ShardEngine::mutex_ in that order, never the reverse (no engine
+//       holds its mutex while invoking the sink).
+//   [mutex] serve/shard_pool.cpp::mutex_
+//       serve::ShardedMonitor (Impl). Leaf. Guards the cross-shard handoff
+//       ledger (retired_through_) and first-error capture. Taken only from
+//       engine hooks (note_retired / wait_handoff), which ShardEngine
+//       invokes with its own lock RELEASED; the fleet never calls into an
+//       engine while holding it. Nests with nothing — a handoff wait
+//       sleeps on this mutex's condvar alone, and the drain plan
+//       guarantees the wake (handoffs only leave drained shards; drained
+//       shards never reopen, so waits cannot form a cycle).
+//
+// sched::ClusterEngine has no lock of its own: live engines are guarded by
+// their owner (LiveClusterFeed::mutex_).
+//
+// A thread therefore holds at most two locks at once (feed → engine), and
+// the pool → DAG → engine → fleet layering can never deadlock: moving DOWN
 // the layering (worker runs pump, pump runs stage, stage emits to sink) is
 // always done lock-free, and the single UP edge (sink querying the monitor)
 // acquires in a fixed order. Any new nesting must be recorded here — the

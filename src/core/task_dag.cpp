@@ -168,6 +168,19 @@ struct TaskDag::Impl {
     return true;
   }
 
+  // Mid-stream start (migration handoff): checkpoints below the boundary are
+  // treated as retired — stage_done() already answers true for t < base, so
+  // rebasing the admission cursor is the whole mechanism.
+  void begin_job_at(std::size_t job, std::size_t first) NURD_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    NURD_CHECK(job < jobs_.size(), "begin_job_at: job out of range");
+    JobState& js = jobs_[job];
+    NURD_CHECK(js.next_admit == 0 && js.live.empty() && !js.cancelled,
+               "begin_job_at on a job with admission history");
+    js.next_admit = first;
+    js.base = first;
+  }
+
   // ---- completion bookkeeping ---------------------------------------------
   // Called on the worker that finished (job, t, s). Decrements dependents,
   // pushes the newly ready onto this worker's deque, retires the checkpoint
@@ -390,6 +403,10 @@ void TaskDag::start(ThreadPool& pool) { impl_->start(pool); }
 
 bool TaskDag::admit(std::size_t job, std::size_t checkpoint) {
   return impl_->admit(job, checkpoint);
+}
+
+void TaskDag::begin_job_at(std::size_t job, std::size_t first_checkpoint) {
+  impl_->begin_job_at(job, first_checkpoint);
 }
 
 std::uint64_t TaskDag::cancel_job(std::size_t job) {

@@ -149,6 +149,16 @@ class TaskDag {
   /// thread. Returns false (admitting nothing) when the job was cancelled.
   bool admit(std::size_t job, std::size_t checkpoint);
 
+  /// Declares that job `job`'s first admission will be checkpoint
+  /// `first_checkpoint` rather than 0: every earlier checkpoint counts as
+  /// already complete, so cross-checkpoint edges reaching below the boundary
+  /// are satisfied immediately. This is the migration hook the sharded
+  /// serving layer uses — when a drained shard hands a job off mid-stream,
+  /// the receiving executor starts the job's pipeline at the handoff
+  /// boundary instead of replaying its history. Call before the job's first
+  /// admit(); the job must have no admission history in THIS dag.
+  void begin_job_at(std::size_t job, std::size_t first_checkpoint);
+
   /// Bumps the job's epoch and drops its queued/live checkpoints, retiring
   /// each through on_retire(completed=false). Stages of the job already
   /// running complete harmlessly (stale-epoch completions are ignored).

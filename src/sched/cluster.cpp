@@ -344,6 +344,24 @@ ArrivalProcess poisson_arrivals(double rate) {
   };
 }
 
+ArrivalProcess poisson_spike_arrivals(double rate, double spike_rate,
+                                      double spike_begin, double spike_end) {
+  NURD_CHECK(rate > 0.0 && spike_rate > 0.0,
+             "Poisson arrival rates must be positive");
+  NURD_CHECK(spike_begin >= 0.0 && spike_end > spike_begin,
+             "spike window must be a non-empty forward interval");
+  return [=](std::size_t job_count, Rng& rng) {
+    std::vector<double> arrivals(job_count);
+    double t = 0.0;
+    for (auto& a : arrivals) {
+      const bool in_spike = t >= spike_begin && t < spike_end;
+      t += rng.exponential(in_spike ? spike_rate : rate);
+      a = t;
+    }
+    return arrivals;
+  };
+}
+
 double ClusterResult::mean_reduction_pct() const {
   if (jobs.empty()) return 0.0;
   double total = 0.0;

@@ -115,6 +115,15 @@ ArrivalProcess fixed_arrivals(std::vector<double> times);
 /// are cumulative sums of Exponential(rate) inter-arrival gaps.
 ArrivalProcess poisson_arrivals(double rate);
 
+/// Poisson process whose rate jumps to `spike_rate` while the running time
+/// is inside [spike_begin, spike_end) — the over-budget arrival burst the
+/// serving fleet's load-shedding path is exercised under. Each gap is drawn
+/// at the rate in force when it starts (a gap straddling a boundary is not
+/// re-split — adequate for driving a backlog spike, and it keeps the RNG
+/// consumption order trivially deterministic: one exponential per job).
+ArrivalProcess poisson_spike_arrivals(double rate, double spike_rate,
+                                      double spike_begin, double spike_end);
+
 /// Called after every processed event with the post-event pool state.
 /// Stale queue entries (e.g. the natural finish of a task whose original was
 /// already terminated) are skipped without observation.

@@ -1,26 +1,17 @@
 #include "serve/stream_monitor.h"
 
 #include <algorithm>
-#include <array>
-#include <atomic>
-#include <chrono>
-#include <deque>
-#include <exception>
 #include <limits>
-#include <optional>
-#include <set>
+#include <thread>
 #include <tuple>
+#include <utility>
 
 #include "common/check.h"
-#include "common/sync.h"
-#include "common/thread_pool.h"
-#include "core/task_dag.h"
+#include "serve/shard_engine.h"
 
 namespace nurd::serve {
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
 
 double percentile_ms(std::vector<double>& sorted_seconds, double q) {
   if (sorted_seconds.empty()) return 0.0;
@@ -32,405 +23,135 @@ double percentile_ms(std::vector<double>& sorted_seconds, double q) {
 
 }  // namespace
 
+// The single-shard frontend: StreamMonitor plans (arrival draw + merged
+// event queue + session construction) and one ShardEngine executes. The
+// engine is built in the constructor — not run() — so low_watermark() is
+// answerable from the moment the monitor exists.
 struct StreamMonitor::Impl {
-  // One ingestion-queue entry: checkpoint `checkpoint` of job `job` becomes
-  // observable at absolute time `time` (= arrival + τrun).
-  struct IngestEvent {
-    double time = 0.0;
-    std::uint32_t job = 0;
-    std::uint32_t checkpoint = 0;
-  };
-
-  // A job's managed serving session: predictor + harness stepper + the
-  // per-checkpoint scratch ring the DAG stages hand off through (cell
-  // t % window; reuse is safe under the executor's window edge). The
-  // pending/scheduled pair only serves ExecutorMode::kSerialLanes, where a
-  // job is a serial lane drained by at most one pool task at a time.
-  struct Admitted {
-    double time = 0.0;
-    std::uint32_t checkpoint = 0;
-    Clock::time_point admitted_at;
-  };
-  struct Lane {
-    std::unique_ptr<core::StragglerPredictor> predictor;
-    std::optional<eval::OnlineJobRun> run;
-    std::vector<eval::CheckpointScratch> ring;  ///< window cells
-    std::deque<Admitted> pending;               ///< kSerialLanes only
-    bool scheduled = false;                     ///< kSerialLanes only
-  };
-
   Impl(std::span<const trace::Job> jobs, core::NamedPredictor method,
        StreamMonitorConfig config)
       : jobs_(jobs), method_(std::move(method)), config_(std::move(config)) {
     NURD_CHECK(!jobs.empty(), "no jobs to serve");
     NURD_CHECK(method_.make != nullptr, "method has no factory");
+    NURD_CHECK(config_.window >= 1, "window must be at least 1");
 
     // Arrival offsets are drawn once, up front, from their own seed — the
     // ingestion schedule is a function of (jobs, arrival process, seed)
     // only, never of serving dynamics.
     Rng rng(config_.arrival_seed);
-    const auto arrivals = config_.arrivals
-                              ? config_.arrivals(jobs.size(), rng)
-                              : sched::batch_arrivals()(jobs.size(), rng);
-    NURD_CHECK(arrivals.size() == jobs.size(),
+    arrivals_ = config_.arrivals
+                    ? config_.arrivals(jobs.size(), rng)
+                    : sched::batch_arrivals()(jobs.size(), rng);
+    NURD_CHECK(arrivals_.size() == jobs.size(),
                "arrival process returned wrong count");
-    arrivals_ = arrivals;
 
     // The merged ingestion queue: every (job, checkpoint) event, ascending
     // (time, job, checkpoint). Within one job τrun is strictly increasing,
     // so the global order preserves each job's checkpoint order.
+    std::vector<EngineEvent> events;
     for (std::size_t j = 0; j < jobs.size(); ++j) {
       NURD_CHECK(arrivals_[j] >= 0.0, "negative arrival time");
       for (std::size_t t = 0; t < jobs[j].checkpoint_count(); ++t) {
-        events_.push_back({arrivals_[j] + jobs[j].trace.tau_run(t),
-                           static_cast<std::uint32_t>(j),
-                           static_cast<std::uint32_t>(t)});
+        events.push_back({arrivals_[j] + jobs[j].trace.tau_run(t),
+                          static_cast<std::uint32_t>(j),
+                          static_cast<std::uint32_t>(t), false, kNoHandoff});
       }
     }
-    std::sort(events_.begin(), events_.end(),
-              [](const IngestEvent& a, const IngestEvent& b) {
+    std::sort(events.begin(), events.end(),
+              [](const EngineEvent& a, const EngineEvent& b) {
                 return std::tie(a.time, a.job, a.checkpoint) <
                        std::tie(b.time, b.job, b.checkpoint);
               });
-    next_ingest_time_ =
-        events_.empty() ? std::numeric_limits<double>::infinity()
-                        : events_.front().time;
+    events_ = std::move(events);
   }
 
-  double low_watermark() const NURD_EXCLUDES(mutex_) {
-    MutexLock lock(mutex_);
-    return inflight_times_.empty() ? next_ingest_time_
-                                   : *inflight_times_.begin();
-  }
-
-  // Admits `ev` into its lane (caller holds no locks) and, when the lane is
-  // idle, starts a drain: submitted to `pool`, or run inline right here when
-  // serialized (pool == nullptr).
-  void admit(const IngestEvent& ev, ThreadPool* pool) NURD_EXCLUDES(mutex_) {
-    bool schedule = false;
-    {
-      MutexLock lock(mutex_);
-      while (!(inflight_ < cap_ || error_ != nullptr)) cv_.wait(mutex_);
-      if (error_) return;  // stop admitting; run() rethrows after the drain
-      Lane& lane = lanes_[ev.job];
-      lane.pending.push_back({ev.time, ev.checkpoint, Clock::now()});
-      ++inflight_;
-      inflight_times_.insert(ev.time);
-      peak_backlog_ = std::max(peak_backlog_, inflight_);
-      ++next_event_;
-      next_ingest_time_ = next_event_ < events_.size()
-                              ? events_[next_event_].time
-                              : std::numeric_limits<double>::infinity();
-      if (!lane.scheduled) {
-        lane.scheduled = true;
-        schedule = true;
-      }
-    }
-    if (!schedule) return;
-    if (pool) {
-      pool->submit([this, job = ev.job] { drain_lane(job); });
-    } else {
-      drain_lane(ev.job);
-    }
-  }
-
-  double event_time(std::size_t job, std::size_t t) const {
-    return arrivals_[job] + jobs_[job].trace.tau_run(t);
-  }
-
-  // Executes ONE pipeline stage of checkpoint `t` of `job`, timing its body
-  // into the per-stage busy counters. Every execution mode funnels through
-  // here — the serialized loop and the serial lanes run the four stages back
-  // to back, the DAG runs them as separate tasks — so the stage breakdown is
-  // populated identically everywhere. The Flag stage is where decisions
-  // leave the monitor: the sink runs here, OUTSIDE the monitor mutex and
-  // BEFORE the event's time leaves the in-flight set, so low_watermark()
-  // cannot pass a flag that is still being delivered.
-  void run_stage(std::size_t job, std::size_t t, core::Stage stage)
-      NURD_EXCLUDES(mutex_) {
-    Lane& lane = lanes_[job];
-    eval::CheckpointScratch& cell = lane.ring[t % lane.ring.size()];
-    const auto began = Clock::now();
-    switch (stage) {
-      case core::Stage::kFeaturize:
-        lane.run->featurize(t, &cell);
-        break;
-      case core::Stage::kRefit:
-        lane.run->refit(t, &cell);
-        break;
-      case core::Stage::kPredict:
-        lane.run->predict(t, &cell);
-        break;
-      case core::Stage::kFlag: {
-        const auto flagged = lane.run->flag(t, &cell);
-        if (!flagged.empty()) {
-          if (config_.sink) {
-            const double time = event_time(job, t);
-            for (auto task : flagged) config_.sink({job, task, t, time});
-          }
-          MutexLock lock(mutex_);
-          flags_ += flagged.size();
-        }
-        break;
-      }
-    }
-    stage_nanos_[static_cast<std::size_t>(stage)].fetch_add(
-        static_cast<std::uint64_t>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(
-                Clock::now() - began)
-                .count()),
-        std::memory_order_relaxed);
-  }
-
-  // Drains one job's lane (serialized and kSerialLanes modes): processes
-  // admitted checkpoints strictly in order — all four stages back to back —
-  // until the lane empties.
-  void drain_lane(std::size_t job) NURD_EXCLUDES(mutex_) {
-    Lane& lane = lanes_[job];
-    for (;;) {
-      Admitted ev;
-      {
-        MutexLock lock(mutex_);
-        if (lane.pending.empty() || error_) {
-          lane.scheduled = false;
-          if (error_) abandon_lane_locked(lane);
-          return;
-        }
-        ev = lane.pending.front();
-        lane.pending.pop_front();
-      }
-
-      try {
-        NURD_CHECK(lane.run->next_checkpoint() == ev.checkpoint,
-                   "lane processed a checkpoint out of order");
-        for (std::size_t s = 0; s < core::kStageCount; ++s) {
-          run_stage(job, ev.checkpoint, static_cast<core::Stage>(s));
-        }
-      } catch (...) {
-        MutexLock lock(mutex_);
-        if (!error_) error_ = std::current_exception();
-        retire_locked(ev.time);
-        lane.scheduled = false;
-        abandon_lane_locked(lane);
-        return;
-      }
-
-      const double latency =
-          std::chrono::duration<double>(Clock::now() - ev.admitted_at)
-              .count();
-      {
-        MutexLock lock(mutex_);
-        latencies_.push_back(latency);
-        ++processed_;
-        retire_locked(ev.time);
-      }
-    }
-  }
-
-  // DAG-mode admission: the event accounting runs under the mutex, the
-  // executor admit OUTSIDE it (the executor's callbacks take mutex_
-  // themselves). A refused admit — the job was cancelled by an earlier stage
-  // error — retires the event immediately so the in-flight count still
-  // drains to zero.
-  void admit_dag(const IngestEvent& ev, core::TaskDag& dag)
-      NURD_EXCLUDES(mutex_) {
-    {
-      MutexLock lock(mutex_);
-      while (!(inflight_ < cap_ || error_ != nullptr)) cv_.wait(mutex_);
-      if (error_) return;  // stop admitting; run() rethrows after the drain
-      ++inflight_;
-      inflight_times_.insert(ev.time);
-      peak_backlog_ = std::max(peak_backlog_, inflight_);
-      ++next_event_;
-      next_ingest_time_ = next_event_ < events_.size()
-                              ? events_[next_event_].time
-                              : std::numeric_limits<double>::infinity();
-      admitted_at_[ev.job][ev.checkpoint] = Clock::now();
-    }
-    if (!dag.admit(ev.job, ev.checkpoint)) {
-      MutexLock lock(mutex_);
-      retire_locked(ev.time);
-    }
-  }
-
-  // Both _locked helpers require mutex_ held (compiler-enforced).
-  void retire_locked(double time) NURD_REQUIRES(mutex_) {
-    --inflight_;
-    inflight_times_.erase(inflight_times_.find(time));
-    cv_.notify_all();
-  }
-
-  // A failed lane abandons its backlog so run()'s in-flight count can still
-  // drain to zero (the first error is what gets rethrown).
-  void abandon_lane_locked(Lane& lane) NURD_REQUIRES(mutex_) {
-    for (const auto& dropped : lane.pending) retire_locked(dropped.time);
-    lane.pending.clear();
-  }
-
-  ServeResult run() NURD_EXCLUDES(mutex_) {
-    NURD_CHECK(!ran_, "StreamMonitor::run() called twice");
-    ran_ = true;
-
+  // Deferred to first need (set_sink may still replace the sink): builds the
+  // sessions and the engine over the final configuration.
+  void ensure_engine() {
+    if (engine_) return;
     const unsigned hw = std::thread::hardware_concurrency();
-    const std::size_t lanes =
+    const std::size_t workers =
         config_.threads == 0 ? std::max(1u, hw) : config_.threads;
-    cap_ = config_.max_inflight == 0 ? 4 * lanes : config_.max_inflight;
-
     // Managed sessions: one fresh predictor + one OnlineJobRun per job. The
     // stepper is the run_job protocol itself, so serialized serving is
     // bit-identical to the batch harness by construction. The DAG path needs
     // one scratch cell per in-flight checkpoint of a job (the executor's
     // window edge makes cell t % window reuse-safe); the serialized paths
     // run one checkpoint at a time and reuse a single cell.
-    NURD_CHECK(config_.window >= 1, "window must be at least 1");
     const bool use_dag =
-        config_.executor == ExecutorMode::kDag && lanes > 1;
-    lanes_.resize(jobs_.size());
+        config_.executor == ExecutorMode::kDag && workers > 1;
+    sessions_.resize(jobs_.size());
     for (std::size_t j = 0; j < jobs_.size(); ++j) {
-      lanes_[j].predictor = method_.make();
-      lanes_[j].run.emplace(jobs_[j], *lanes_[j].predictor, config_.pct);
-      lanes_[j].ring.resize(use_dag ? config_.window : 1);
+      sessions_[j].predictor = method_.make();
+      sessions_[j].run.emplace(jobs_[j], *sessions_[j].predictor,
+                               config_.pct);
+      sessions_[j].ring.resize(use_dag ? config_.window : 1);
     }
-    if (use_dag) {
-      MutexLock lock(mutex_);  // preamble, but the field is lock-annotated
-      admitted_at_.resize(jobs_.size());
-      for (std::size_t j = 0; j < jobs_.size(); ++j) {
-        admitted_at_[j].resize(jobs_[j].checkpoint_count());
-      }
-    }
+    EngineConfig engine_config;
+    engine_config.threads = workers;
+    engine_config.max_inflight = config_.max_inflight;
+    engine_config.executor = config_.executor;
+    engine_config.window = config_.window;
+    EngineHooks hooks;
+    hooks.sink = config_.sink;
+    engine_.emplace(jobs_, std::span<JobSession>(sessions_),
+                    std::move(events_), engine_config, std::move(hooks));
+  }
 
-    // Serialized (threads == 1): no pool — each event is admitted and its
-    // lane drained inline, in global event-time order. Concurrent: a private
-    // pool of `lanes` workers runs the stage work — as pipelined DAG tasks
-    // (default) or as monolithic per-lane drains (kSerialLanes, the
-    // baseline) — and this thread only admits. The dag is declared after the
-    // pool so it is destroyed FIRST (its pumps run on the pool).
-    std::optional<ThreadPool> pool;
-    std::optional<core::TaskDag> dag;
-    if (lanes > 1) pool.emplace(lanes);
-    if (use_dag) {
-      core::TaskDagConfig dag_config;
-      dag_config.workers = lanes;
-      dag_config.window = config_.window;
-      dag_config.featurize_ahead = std::min<std::size_t>(2, config_.window);
-      dag.emplace(
-          jobs_.size(), dag_config,
-          [this](const core::TaskKey& k) {
-            run_stage(k.job, k.checkpoint, k.stage);
-          },
-          [this](std::size_t job, std::size_t ckpt, bool completed) {
-            MutexLock lock(mutex_);
-            if (completed) {
-              latencies_.push_back(
-                  std::chrono::duration<double>(Clock::now() -
-                                                admitted_at_[job][ckpt])
-                      .count());
-              ++processed_;
-            }
-            retire_locked(event_time(job, ckpt));
-          },
-          [this](std::size_t, std::exception_ptr e) {
-            MutexLock lock(mutex_);
-            if (!error_) error_ = e;
-            cv_.notify_all();
-          });
-      dag->start(*pool);
+  double low_watermark() {
+    // Pre-run (and pre-engine) the watermark is the first event time; the
+    // engine owns the moving value once it exists.
+    if (!engine_) {
+      return events_.empty() ? std::numeric_limits<double>::infinity()
+                             : events_.front().time;
     }
+    return engine_->low_watermark();
+  }
 
-    const auto start = Clock::now();
-    for (const IngestEvent& ev : events_) {
-      if (dag) {
-        admit_dag(ev, *dag);
-      } else {
-        admit(ev, pool ? &*pool : nullptr);
-      }
-      {
-        MutexLock lock(mutex_);
-        if (error_) break;
-      }
-    }
-    if (dag) dag->close();
-    {
-      MutexLock lock(mutex_);
-      while (inflight_ != 0) cv_.wait(mutex_);
-    }
-    if (dag) dag->wait();
-    {
-      MutexLock lock(mutex_);
-      if (error_) std::rethrow_exception(error_);
-    }
-    const double wall =
-        std::chrono::duration<double>(Clock::now() - start).count();
+  ServeResult run() {
+    NURD_CHECK(!ran_, "StreamMonitor::run() called twice");
+    ran_ = true;
+    ensure_engine();
+    engine_->run();
 
     ServeResult result;
     result.runs.reserve(jobs_.size());
-    for (auto& lane : lanes_) result.runs.push_back(lane.run->take_result());
+    for (auto& session : sessions_) {
+      result.runs.push_back(session.run->take_result());
+    }
 
-    // Stats assembly holds mutex_: the drain above already guarantees every
-    // writer is done (in-flight count zero, DAG pumps exited), but reading
-    // the guarded counters through the same lock they were written under
-    // makes the happens-before a compiler-checked fact instead of an
-    // argument about pool teardown order.
+    const EngineStats& es = engine_->stats();
     ServeStats& s = result.stats;
-    {
-      MutexLock lock(mutex_);
-      s.jobs = jobs_.size();
-      s.checkpoints = processed_;
-      s.flags = flags_;
-      s.lanes = lanes;
-      s.peak_backlog = peak_backlog_;
-      s.wall_seconds = wall;
-      s.checkpoints_per_sec =
-          wall > 0.0 ? static_cast<double>(processed_) / wall : 0.0;
-      std::sort(latencies_.begin(), latencies_.end());
-      s.p50_latency_ms = percentile_ms(latencies_, 0.50);
-      s.p99_latency_ms = percentile_ms(latencies_, 0.99);
-    }
-    for (std::size_t i = 0; i < core::kStageCount; ++i) {
-      s.stage_seconds[i] =
-          static_cast<double>(
-              stage_nanos_[i].load(std::memory_order_relaxed)) *
-          1e-9;
-    }
+    s.jobs = jobs_.size();
+    s.checkpoints = es.processed;
+    s.flags = es.flags;
+    s.lanes = es.workers;
+    s.peak_backlog = es.peak_backlog;
+    s.wall_seconds = es.wall_seconds;
+    s.checkpoints_per_sec =
+        es.wall_seconds > 0.0
+            ? static_cast<double>(es.processed) / es.wall_seconds
+            : 0.0;
+    std::vector<double> latencies;
+    latencies.reserve(es.latencies.size());
+    for (const auto& l : es.latencies) latencies.push_back(l.seconds);
+    std::sort(latencies.begin(), latencies.end());
+    s.p50_latency_ms = percentile_ms(latencies, 0.50);
+    s.p99_latency_ms = percentile_ms(latencies, 0.99);
+    s.stage_seconds = es.stage_seconds;
     return result;
   }
 
-  // ---- owner state: written at construction or in run()'s preamble, before
-  // any worker exists; read-only once stage tasks are in flight. Lane::run /
-  // ::predictor / ::ring are lane-private — exactly one stage task of a job
-  // runs at a time (the DAG's refit chain / the serial lane), so they need
-  // no lock; Lane::pending / ::scheduled are the exception and are only
-  // touched under mutex_ (see drain_lane).
   std::span<const trace::Job> jobs_;
   core::NamedPredictor method_;
   StreamMonitorConfig config_;
   std::vector<double> arrivals_;
-  std::vector<IngestEvent> events_;  ///< ascending (time, job, checkpoint)
-  std::vector<Lane> lanes_;
+  /// Moved into the engine by ensure_engine(); use low_watermark() /
+  /// engine state after that.
+  std::vector<EngineEvent> events_;
+  std::vector<JobSession> sessions_;
+  std::optional<ShardEngine> engine_;
   bool ran_ = false;
-  std::size_t cap_ = 1;
-
-  mutable Mutex mutex_;
-  CondVar cv_;
-  std::size_t inflight_ NURD_GUARDED_BY(mutex_) = 0;
-  /// Admitted, not yet processed.
-  std::multiset<double> inflight_times_ NURD_GUARDED_BY(mutex_);
-  /// Next events_ index to admit.
-  std::size_t next_event_ NURD_GUARDED_BY(mutex_) = 0;
-  double next_ingest_time_ NURD_GUARDED_BY(mutex_) = 0.0;
-  std::size_t peak_backlog_ NURD_GUARDED_BY(mutex_) = 0;
-  std::size_t processed_ NURD_GUARDED_BY(mutex_) = 0;
-  std::size_t flags_ NURD_GUARDED_BY(mutex_) = 0;
-  /// Seconds, unsorted until run() ends.
-  std::vector<double> latencies_ NURD_GUARDED_BY(mutex_);
-  std::exception_ptr error_ NURD_GUARDED_BY(mutex_);
-
-  /// DAG mode: admission wall-clock per (job, checkpoint), stamped under
-  /// mutex_ at admit and read under mutex_ at retire.
-  std::vector<std::vector<Clock::time_point>> admitted_at_
-      NURD_GUARDED_BY(mutex_);
-  /// Cumulative busy nanoseconds per pipeline stage, across all workers.
-  std::array<std::atomic<std::uint64_t>, core::kStageCount> stage_nanos_{};
 };
 
 StreamMonitor::StreamMonitor(std::span<const trace::Job> jobs,

@@ -45,6 +45,12 @@
 //   * the wall-clock stats (latency percentiles, backlog, throughput) are of
 //     course run-dependent; everything else is reproducible from the seeds.
 //
+// Implementation note: the execution core — admission window, stage
+// dispatch, executors, stats — lives in serve/shard_engine.h. StreamMonitor
+// is the single-shard frontend over one ShardEngine; serve/shard_pool.h
+// (ShardedMonitor) runs N of them as a fleet. StreamMonitor owns the plan
+// for its engine: draw arrivals, build the merged event queue, done.
+//
 // Thread-safety: a StreamMonitor instance is driven by one caller thread
 // (construct, run(), collect). The FlagSink is the one callback that crosses
 // lanes: calls for a single job arrive in checkpoint order, calls for
@@ -65,35 +71,10 @@
 #include "core/registry.h"
 #include "eval/harness.h"
 #include "sched/cluster.h"
+#include "serve/shard_engine.h"  // FlagDecision, FlagSink, ExecutorMode
 #include "trace/job.h"
 
 namespace nurd::serve {
-
-/// One flag decision, as handed to the sink at emission time.
-struct FlagDecision {
-  std::size_t job = 0;         ///< job input index
-  std::size_t task = 0;        ///< task id within the job
-  std::size_t checkpoint = 0;  ///< checkpoint the predictor flagged at
-  double time = 0.0;           ///< simulated event time: arrival + τrun(cp)
-};
-
-/// Flag sink. Invoked from pool workers (inside the Flag stage) while run()
-/// is in progress: calls for one job arrive in checkpoint order; calls for
-/// different jobs may be concurrent — implementations synchronize (see
-/// serve::LiveClusterFeed).
-using FlagSink = std::function<void(const FlagDecision&)>;
-
-/// Which concurrent executor run() schedules stage work on. Irrelevant at
-/// threads == 1 (always the inline serialized loop).
-enum class ExecutorMode {
-  /// The task-DAG pipeline (core/task_dag.h): per-checkpoint stages with
-  /// explicit edges; stages of different checkpoints of one job overlap.
-  kDag,
-  /// The per-job serial lanes the DAG replaced — one monolithic step per
-  /// checkpoint, one drain task per job at a time. Kept as the baseline
-  /// bench_serve compares DAG tail latency against.
-  kSerialLanes,
-};
 
 struct StreamMonitorConfig {
   /// Straggler percentile (the harness's pct parameter).

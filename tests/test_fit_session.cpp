@@ -68,7 +68,7 @@ TEST(FitSession, FullPolicyMatchesHandRolledAssembly) {
                              view.row(i).begin()));
       ++r;
     }
-    for (const auto i : view.running()) {
+    for ([[maybe_unused]] const auto i : view.running()) {
       EXPECT_DOUBLE_EQ(y_mem[r], 0.0);
       ++r;
     }

@@ -359,5 +359,58 @@ TEST(TaskDag, WaitReturnsImmediatelyWhenNothingAdmitted) {
   dag.wait();  // must not hang
 }
 
+// The migration hook: a job re-placed by the serving fleet resumes
+// mid-stream on its new shard's DAG. begin_job_at(job, first) rebases the
+// job so checkpoint `first` admits with every pre-boundary edge already
+// satisfied, and the stage chains run in order from there.
+TEST(TaskDag, BeginJobAtRunsAMidStreamSliceInOrder) {
+  constexpr std::size_t kFirst = 5;
+  constexpr std::size_t kCkpts = 9;  // serve checkpoints 5..8
+  std::mutex mutex;
+  std::vector<std::pair<Stage, std::size_t>> order;
+
+  ThreadPool pool(3);
+  TaskDagConfig config;
+  config.workers = 3;
+  config.window = 2;
+  TaskDag dag(1, config, [&](const TaskKey& k) {
+    std::lock_guard<std::mutex> lock(mutex);
+    order.emplace_back(k.stage, k.checkpoint);
+  });
+  dag.start(pool);
+  dag.begin_job_at(0, kFirst);
+  for (std::size_t t = kFirst; t < kCkpts; ++t) {
+    EXPECT_TRUE(dag.admit(0, t));
+  }
+  dag.close();
+  dag.wait();
+
+  ASSERT_EQ(order.size(), (kCkpts - kFirst) * kStageCount);
+  // Per-stage chains run their checkpoints in ascending order from kFirst,
+  // and each checkpoint's stages run featurize -> refit -> predict -> flag.
+  std::array<std::size_t, kStageCount> next;
+  next.fill(kFirst);
+  std::vector<std::size_t> stages_done(kCkpts, 0);
+  for (const auto& [stage, t] : order) {
+    const auto s = static_cast<std::size_t>(stage);
+    EXPECT_EQ(t, next[s]) << "stage chain out of order";
+    ++next[s];
+    EXPECT_EQ(stages_done[t], s) << "stage order broken at checkpoint " << t;
+    ++stages_done[t];
+  }
+}
+
+TEST(TaskDag, BeginJobAtRefusesAJobWithAdmissionHistory) {
+  ThreadPool pool(1);
+  TaskDagConfig config;
+  config.workers = 1;
+  TaskDag dag(1, config, [](const TaskKey&) {});
+  dag.start(pool);
+  ASSERT_TRUE(dag.admit(0, 0));
+  EXPECT_THROW(dag.begin_job_at(0, 4), std::invalid_argument);
+  dag.close();
+  dag.wait();
+}
+
 }  // namespace
 }  // namespace nurd::core
