@@ -69,7 +69,7 @@ from dataclasses import dataclass, field
 
 # Directories whose results must be a pure function of the seeds.
 DETERMINISTIC_DIRS = ("src/core", "src/eval", "src/trace", "src/ml",
-                      "src/sched")
+                      "src/sched", "src/scenario")
 
 # Wall-clock / global-entropy / global-state tokens banned there.
 WALL_CLOCK_TOKENS = [

@@ -1,0 +1,17 @@
+// Fixture: global entropy inside the scenario subsystem. Scenario
+// generation and trace ingestion must be pure functions of (spec, seed,
+// input bytes); every marked line must produce a [wall-clock] finding.
+#include <chrono>
+#include <random>
+
+unsigned scenario_seed() {
+  std::random_device entropy;  // BAD: non-reproducible scenario seeds
+  return entropy();
+}
+
+double ingest_stamp() {
+  auto t = std::chrono::system_clock::now();  // BAD: wall clock in ingest
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+// Mentioning random_device in a comment must NOT fire.

@@ -55,6 +55,12 @@ class WallClockRule(unittest.TestCase):
         findings, _ = lint("src/serve/good_timing.cpp")
         self.assertEqual(findings, [])
 
+    def test_scenario_subsystem_is_in_scope(self):
+        findings, _ = lint("src/scenario/bad_entropy.cpp")
+        wall = [f for f in findings if f.rule == "wall-clock"]
+        self.assertEqual([f.line for f in wall], [8, 13])
+        self.assertNotIn(17, {f.line for f in findings})  # comment
+
 
 class UnorderedIterationRule(unittest.TestCase):
     def test_fires_on_iteration_not_lookup(self):

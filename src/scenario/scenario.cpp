@@ -1,0 +1,220 @@
+#include "scenario/scenario.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "common/check.h"
+#include "eval/harness.h"
+
+namespace nurd::scenario {
+
+namespace {
+
+// The heterogeneous pool of the "hetero" and "chaos" scenarios: a relaunch
+// has a 1-in-4 chance of landing on a slow machine that is ALSO the most
+// straggler-prone — heterogeneity as a risk axis, not a constant rescaling.
+std::vector<sched::MachineClass> mixed_fleet() {
+  return {
+      {.name = "fast", .weight = 0.25, .speed = 1.5,
+       .straggler_propensity = 0.02, .straggler_factor = 2.0},
+      {.name = "standard", .weight = 0.5, .speed = 1.0,
+       .straggler_propensity = 0.08, .straggler_factor = 3.0},
+      {.name = "slow", .weight = 0.25, .speed = 0.6,
+       .straggler_propensity = 0.25, .straggler_factor = 4.0},
+  };
+}
+
+std::vector<ScenarioSpec> build_zoo() {
+  std::vector<ScenarioSpec> zoo;
+
+  {
+    ScenarioSpec s;
+    s.name = "baseline";
+    s.summary = "stationary batch arrivals, homogeneous finite pool";
+    zoo.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "diurnal";
+    s.summary = "day/night sinusoidal arrival load (amplitude 0.6)";
+    s.arrivals = ArrivalKind::kDiurnal;
+    s.load = 2.0;
+    s.diurnal_amplitude = 0.6;
+    s.diurnal_period = 0.5;
+    zoo.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "spike";
+    s.summary = "piecewise load with an 8x burst window";
+    s.arrivals = ArrivalKind::kPiecewise;
+    s.schedule = {{0.0, 1.0}, {0.25, 8.0}, {0.5, 1.0}};
+    zoo.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "hetero";
+    s.summary = "mixed fast/standard/slow fleet; slow class straggles";
+    s.machine_classes = mixed_fleet();
+    zoo.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "failures";
+    s.summary = "pool machines die (MTBF = 2 mean JCTs); work requeues";
+    s.mtbf_jct = 2.0;
+    zoo.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "preempt";
+    s.summary = "cluster preempts 15% of originals mid-run";
+    s.preemption_rate = 0.15;
+    zoo.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "drift";
+    s.summary = "feature loadings rotate mid-stream (shift at 45% horizon)";
+    s.shift_at = 0.45;
+    s.shift_rotation = 0.6;
+    zoo.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "chaos";
+    s.summary = "everything at once, milder knobs";
+    s.shift_at = 0.55;
+    s.shift_rotation = 0.4;
+    s.arrivals = ArrivalKind::kDiurnal;
+    s.load = 2.0;
+    s.diurnal_amplitude = 0.4;
+    s.diurnal_period = 0.5;
+    s.machine_classes = mixed_fleet();
+    s.mtbf_jct = 3.0;
+    s.preemption_rate = 0.08;
+    zoo.push_back(std::move(s));
+  }
+  return zoo;
+}
+
+}  // namespace
+
+const char* family_name(TraceFamily family) {
+  return family == TraceFamily::kGoogle ? "Google" : "Alibaba";
+}
+
+const std::vector<ScenarioSpec>& scenario_zoo() {
+  static const std::vector<ScenarioSpec> zoo = build_zoo();
+  return zoo;
+}
+
+const ScenarioSpec& scenario_by_name(const std::string& name) {
+  std::string known;
+  for (const ScenarioSpec& spec : scenario_zoo()) {
+    if (spec.name == name) return spec;
+    if (!known.empty()) known += ", ";
+    known += spec.name;
+  }
+  throw std::invalid_argument("unknown scenario '" + name +
+                              "'; registered scenarios: " + known);
+}
+
+std::vector<trace::Job> make_jobs(const ScenarioSpec& spec,
+                                  TraceFamily family, std::size_t count,
+                                  std::uint64_t seed_offset,
+                                  std::size_t threads) {
+  trace::GeneratorConfig config =
+      family == TraceFamily::kGoogle
+          ? trace::GoogleLikeGenerator::google_defaults()
+          : trace::AlibabaLikeGenerator::alibaba_defaults();
+  config.seed += seed_offset;
+  config.shift_at = spec.shift_at;
+  config.shift_rotation = spec.shift_rotation;
+  if (family == TraceFamily::kGoogle) {
+    trace::GoogleLikeGenerator gen(config);
+    return gen.generate(count, threads);
+  }
+  trace::AlibabaLikeGenerator gen(config);
+  return gen.generate(count, threads);
+}
+
+double mean_completion(std::span<const trace::Job> jobs) {
+  NURD_CHECK(!jobs.empty(), "mean_completion needs at least one job");
+  double sum = 0.0;
+  for (const trace::Job& job : jobs) sum += job.completion_time();
+  return sum / static_cast<double>(jobs.size());
+}
+
+sched::ClusterConfig make_cluster_config(const ScenarioSpec& spec,
+                                         std::size_t job_count,
+                                         double mean_jct) {
+  NURD_CHECK(mean_jct > 0.0, "mean JCT must be positive");
+  NURD_CHECK(job_count > 0, "need at least one job");
+  sched::ClusterConfig config;
+  if (spec.unlimited_pool) {
+    config.machines = sched::kUnlimitedMachines;
+  } else {
+    const double spares =
+        std::ceil(spec.spares_per_job * static_cast<double>(job_count));
+    config.machines = spares < 1.0 ? 1 : static_cast<std::size_t>(spares);
+  }
+  config.reclaim_releases = spec.reclaim_releases;
+  switch (spec.arrivals) {
+    case ArrivalKind::kBatch:
+      break;  // null arrivals = batch
+    case ArrivalKind::kPoisson:
+      config.arrivals = sched::poisson_arrivals(spec.load / mean_jct);
+      break;
+    case ArrivalKind::kPiecewise: {
+      std::vector<sched::RateSegment> absolute;
+      absolute.reserve(spec.schedule.size());
+      for (const LoadSegment& seg : spec.schedule) {
+        absolute.push_back({seg.begin * mean_jct, seg.load / mean_jct});
+      }
+      config.arrivals = sched::piecewise_poisson_arrivals(std::move(absolute));
+      break;
+    }
+    case ArrivalKind::kDiurnal:
+      config.arrivals = sched::diurnal_poisson_arrivals(
+          spec.load / mean_jct, spec.diurnal_amplitude,
+          spec.diurnal_period * mean_jct);
+      break;
+  }
+  config.machine_classes = spec.machine_classes;
+  config.machine_mtbf = spec.mtbf_jct * mean_jct;
+  config.preemption_rate = spec.preemption_rate;
+  return config;
+}
+
+ScenarioOutcome evaluate_scenario(const ScenarioSpec& spec,
+                                  TraceFamily family,
+                                  const core::NamedPredictor& method,
+                                  std::size_t job_count, std::size_t reps,
+                                  std::uint64_t seed,
+                                  std::size_t threads) {
+  NURD_CHECK(reps > 0, "need at least one replication");
+  const auto jobs = make_jobs(spec, family, job_count, /*seed_offset=*/0,
+                              threads);
+  const auto runs = eval::run_method(method, jobs, 90.0, threads);
+
+  ScenarioOutcome out;
+  out.macro_f1 = eval::aggregate_method(method.name, runs).f1;
+  out.mean_jct = mean_completion(jobs);
+  const auto config = make_cluster_config(spec, jobs.size(), out.mean_jct);
+  const auto results = sched::simulate_cluster_replicated(
+      jobs, runs, config, reps, seed, threads);
+  const auto summary = sched::summarize_replications(results);
+  out.mean_reduction_pct = summary.mean_reduction_pct;
+  out.mean_makespan = summary.mean_makespan;
+  for (const sched::ClusterResult& r : results) {
+    out.relaunched += r.relaunched;
+    out.machine_failures += r.machine_failures;
+    out.preempted += r.preempted;
+    out.stranded += r.stranded;
+  }
+  return out;
+}
+
+}  // namespace nurd::scenario

@@ -21,6 +21,13 @@
 //   kFlag           the predictor flags a task (at the flagging checkpoint's
 //                   absolute time); the task relaunches now if a machine is
 //                   free, otherwise joins the cluster-wide FIFO queue
+//   kMachineFail    a pool machine dies (scenario injection): a free machine
+//                   leaves the pool, a busy one kills the copy it was running
+//                   and the task re-enters the relaunch path immediately
+//   kPreempt        the cluster preempts a task's ORIGINAL execution
+//                   (scenario injection): the original is terminated and the
+//                   task re-enters the relaunch path, exactly as if flagged —
+//                   but without a predictor decision behind it
 //
 // Algorithms 2 and 3 are the single-job special cases: with
 // machines = kUnlimitedMachines and batch arrivals the simulation reproduces
@@ -31,14 +38,20 @@
 // loop used to exhibit by construction).
 //
 // Determinism contract: ALL randomness is consumed in a canonical setup
-// order — arrival times in job input order, then one pre-drawn relaunch
-// latency per validly flagged task (job input order, task-id order). The
-// event loop itself draws nothing, so the RNG stream consumed is a function
-// of (jobs, flags, arrival process) only: sweeping machine counts or
-// observing events never perturbs the draws. simulate_cluster_replicated
-// fans replications out over the ThreadPool with per-replication Rng::fork
-// streams and is bit-identical at any thread count, matching the
-// evaluate_method contract.
+// order — arrival times in job input order; then (heterogeneous pools only)
+// one machine-class draw per initial pool machine in machine-id order; then
+// per task, in job input order and task-id order: the relaunch-latency draw
+// (per validly flagged task in precomputed mode, per task in live mode),
+// the heterogeneity draws (machine class + straggler luck, iff
+// machine_classes is non-empty), the machine-failure offset (iff
+// machine_mtbf > 0), and the preemption draws (iff preemption_rate > 0).
+// The event loop itself draws nothing, so the RNG stream consumed is a
+// function of (jobs, flags, arrival process, injection config) only:
+// sweeping machine counts or observing events never perturbs the draws, and
+// every injection knob consumes ZERO draws when disabled — legacy streams
+// are bit-identical. simulate_cluster_replicated fans replications out over
+// the ThreadPool with per-replication Rng::fork streams and is bit-identical
+// at any thread count, matching the evaluate_method contract.
 #pragma once
 
 #include <cstdint>
@@ -46,6 +59,7 @@
 #include <limits>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -68,6 +82,11 @@ enum class EventKind : int {
   kMachineRelease = 2,
   kRelaunch = 3,
   kFlag = 4,
+  // Scenario-injection events sort AFTER flags at the same instant: a task
+  // finishing (or being granted a machine) exactly when disaster strikes
+  // still counts as having made it.
+  kMachineFail = 5,  ///< `task` field carries the pool machine id
+  kPreempt = 6,
 };
 
 /// One entry of the global event queue. Events order by (time, kind, job,
@@ -82,16 +101,18 @@ struct Event {
 
 /// Shared-pool accounting, exposed to the event observer. For a finite pool
 /// the conservation invariant
-///     free + in_use == initial machines + released
+///     free + in_use + failed == initial machines + released
 /// holds after every event (relaunch grants move free -> in_use, copy
 /// returns move in_use -> free, natural-completion donations grow both sides
-/// by one; reclaimed releases touch neither side).
+/// by one, a machine failure moves exactly one machine from free or in_use
+/// into failed; reclaimed releases touch neither side).
 struct PoolState {
   std::size_t free = 0;       ///< spare machines available (finite pools)
   std::size_t in_use = 0;     ///< pool machines running relaunched copies
   std::size_t released = 0;   ///< natural completions donated to the pool
   std::size_t reclaimed = 0;  ///< natural completions taken back by the
                               ///< cluster (reclaim_releases mode)
+  std::size_t failed = 0;     ///< pool machines lost to injected failures
   std::size_t waiting = 0;   ///< queued FIFO entries (tasks that finish
                              ///< while queued are pruned lazily at dispatch)
   bool unlimited = false;    ///< free is meaningless when set
@@ -124,6 +145,43 @@ ArrivalProcess poisson_arrivals(double rate);
 ArrivalProcess poisson_spike_arrivals(double rate, double spike_rate,
                                       double spike_begin, double spike_end);
 
+/// One segment of a piecewise-constant arrival-rate schedule: `rate` applies
+/// from `begin` until the next segment's begin (the last segment extends
+/// forever). Segments must be in strictly ascending `begin` order and the
+/// first must begin at 0.
+struct RateSegment {
+  double begin = 0.0;
+  double rate = 1.0;
+};
+
+/// Piecewise-constant Poisson schedule. Like poisson_spike_arrivals, each
+/// inter-arrival gap is drawn at the rate in force when it starts — one
+/// exponential per job, so the RNG consumption order never depends on where
+/// the boundaries fall.
+ArrivalProcess piecewise_poisson_arrivals(std::vector<RateSegment> schedule);
+
+/// Diurnal Poisson schedule: rate(t) = base * (1 + amplitude * sin(2*pi *
+/// t / period)), evaluated at the start of each inter-arrival gap (one
+/// exponential per job). `amplitude` must lie in [0, 1) so the rate stays
+/// positive through the trough.
+ArrivalProcess diurnal_poisson_arrivals(double base_rate, double amplitude,
+                                        double period);
+
+/// One class of a heterogeneous machine pool. A relaunched copy inherits the
+/// class of the machine it lands on: its resampled execution time is divided
+/// by `speed`, and with probability `straggler_propensity` the copy itself
+/// straggles (multiplied by `straggler_factor`). Slow classes carrying high
+/// propensity is what makes heterogeneity a scenario axis instead of a
+/// constant rescaling — a relaunch can land somewhere worse than the
+/// machine it fled.
+struct MachineClass {
+  std::string name = "standard";
+  double weight = 1.0;  ///< sampling weight for class assignment
+  double speed = 1.0;   ///< copies run resample / speed on this class
+  double straggler_propensity = 0.0;  ///< P(copy straggles on this class)
+  double straggler_factor = 3.0;      ///< latency multiplier when it does
+};
+
 /// Called after every processed event with the post-event pool state.
 /// Stale queue entries (e.g. the natural finish of a task whose original was
 /// already terminated) are skipped without observation.
@@ -143,6 +201,27 @@ struct ClusterConfig {
   bool reclaim_releases = false;
   /// Null means batch_arrivals().
   ArrivalProcess arrivals;
+  /// Heterogeneous pool: classes machines are drawn from (by `weight`).
+  /// Empty (default) means a homogeneous speed-1 pool and consumes no
+  /// randomness. When set, every pool machine — initial spares in machine-id
+  /// order, then donated machines through the per-task draws — gets a class,
+  /// and relaunch copies run at the speed (and straggler risk) of the
+  /// machine they are granted. With kUnlimitedMachines, the per-task class
+  /// draw is the class of the fresh machine that task's relaunch lands on.
+  std::vector<MachineClass> machine_classes;
+  /// Mean time between failures per POOL machine (exponential; absolute for
+  /// initial spares, from the donation instant for donated machines).
+  /// 0 (default) disables failure injection and consumes no randomness.
+  /// Failures are scoped to the relaunch pool — a free machine leaves the
+  /// pool, a busy one kills its copy and the task is requeued; originals
+  /// running outside the pool are disrupted via `preemption_rate` instead.
+  /// Requires a finite pool.
+  double machine_mtbf = 0.0;
+  /// Per-task probability that the cluster preempts the task's ORIGINAL
+  /// execution once, at a uniform point of its lifetime. A preempted task
+  /// re-enters the relaunch path (FIFO queue if no machine is free) exactly
+  /// as if flagged. 0 (default) disables and consumes no randomness.
+  double preemption_rate = 0.0;
   /// Optional event hook (tests, tracing). Must be thread-safe when the
   /// config is shared by simulate_cluster_replicated lanes.
   EventObserver observer;
@@ -157,6 +236,7 @@ struct ClusterJobStats {
   std::size_t relaunched = 0;   ///< tasks actually relaunched
   std::size_t waited = 0;       ///< relaunches granted after the flag instant
   std::size_t noop_flags = 0;   ///< flags at/after the task's completion
+  std::size_t preempted = 0;    ///< originals killed by injected preemption
 
   double reduction_pct() const {
     return original_jct > 0.0
@@ -172,6 +252,11 @@ struct ClusterResult {
   std::size_t relaunched = 0;
   std::size_t waited = 0;
   std::size_t noop_flags = 0;
+  std::size_t preempted = 0;         ///< injected preemptions that fired
+  std::size_t machine_failures = 0;  ///< injected pool-machine deaths
+  std::size_t stranded = 0;     ///< tasks still queued when the event queue
+                                ///< drained (every pool machine died) —
+                                ///< their jobs report no completion
   std::size_t peak_waiting = 0;  ///< FIFO backlog high-water mark
   std::size_t events = 0;        ///< processed (non-stale) events
 

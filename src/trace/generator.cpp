@@ -17,6 +17,9 @@ TraceGenerator::TraceGenerator(FeatureSchema schema, GeneratorConfig config)
   NURD_CHECK(config_.min_tasks >= 10, "jobs need at least 10 tasks");
   NURD_CHECK(config_.min_tasks <= config_.max_tasks, "bad task range");
   NURD_CHECK(config_.checkpoints >= 2, "need at least two checkpoints");
+  NURD_CHECK(config_.shift_at > 0.0, "shift_at must be positive");
+  NURD_CHECK(config_.shift_rotation >= 0.0 && config_.shift_rotation <= 1.0,
+             "shift_rotation must lie in [0, 1]");
 }
 
 std::vector<Job> TraceGenerator::generate(std::size_t count,
@@ -182,6 +185,21 @@ Job TraceGenerator::generate_job_impl(Rng rng, std::size_t index,
     }
   }
 
+  // Mid-stream distribution shift: a second loading basis the body mapping
+  // rotates onto past shift_at (see GeneratorConfig). Drawn LAST so enabling
+  // the shift leaves every draw above untouched — the pre-shift stream is
+  // bit-identical to the stationary job from the same seed.
+  const bool shifted =
+      config_.shift_at < 1.0 && config_.shift_rotation > 0.0;
+  std::vector<double> shift_loading(d, 0.0);
+  if (shifted) {
+    for (std::size_t f = 0; f < d; ++f) {
+      const double sign = rng.bernoulli(0.8) ? 1.0 : -1.0;
+      shift_loading[f] =
+          sign * std::abs(rng.normal(0.4, 0.15)) * config_.feature_signal;
+    }
+  }
+
   // --- Checkpoint grid ----------------------------------------------------
   // Prediction starts once initial_finished_frac of tasks completed (§6).
   // The grid is GEOMETRIC between that point and just below the completion
@@ -215,9 +233,18 @@ Job TraceGenerator::generate_job_impl(Rng rng, std::size_t index,
         (1.0 - config_.drift_strength) + config_.drift_strength * progress;
     const double sig = severity[i] * ramp;
     const auto cause = cause_dir.row(cause_of[i]);
+    // Distribution-shift blend weight: 0 before shift_at, ramping to
+    // shift_rotation at the completion horizon.
+    double w = 0.0;
+    if (shifted && progress > config_.shift_at) {
+      const double span = std::max(1.0 - config_.shift_at, 1e-9);
+      w = config_.shift_rotation *
+          std::min((progress - config_.shift_at) / span, 1.0);
+    }
     for (std::size_t f = 0; f < d; ++f) {
-      out[f] = mu[f] + loading[f] * z_body[i] + cause[f] * sig +
-               anomaly(i, f) + persistent(i, f);
+      const double load = (1.0 - w) * loading[f] + w * shift_loading[f];
+      out[f] = mu[f] + load * z_body[i] + cause[f] * sig + anomaly(i, f) +
+               persistent(i, f);
     }
   };
 

@@ -67,6 +67,18 @@ struct GeneratorConfig {
                                       ///< are outliers in latency, not
                                       ///< necessarily in feature space (§3.2)
   double anomaly_strength = 2.0;      ///< anomaly offset in noise units
+  // --- Mid-stream distribution shift (the scenario zoo's drift axis) ------
+  // Past `shift_at` (a fraction of the job's completion horizon) the body
+  // feature loadings rotate toward a SECOND, independently drawn loading
+  // vector: observations of still-running tasks — and the frozen rows of
+  // tasks finishing late — are produced under a progressively different
+  // feature↔latency mapping than the early stream a warm-started model was
+  // fitted on. `shift_rotation` in [0, 1] is the fully-shifted blend share.
+  // shift_at >= 1 (default) disables the shift; the shift draws happen LAST
+  // in the per-job setup, so enabling it leaves every other draw untouched
+  // and pre-shift observations stay bit-identical to the stationary job.
+  double shift_at = 1.0;
+  double shift_rotation = 0.0;
   std::uint64_t seed = 1234;
 };
 
